@@ -1,0 +1,75 @@
+"""Ablation — which pieces of CEAL earn their keep?
+
+Four arms on LV computer time (m = 50, with histories):
+
+* full CEAL,
+* CEAL without the model-switch detector (the ACM ranks every batch and
+  is the final model),
+* CEAL without the bias guard (no random-sample injection), and
+* the pure low-fidelity tuner (no high-fidelity phase at all).
+
+Expected shape: the full algorithm is at least as good as every
+ablation, and the pure-ACM arm trails it (§3: the low-fidelity model
+alone "lacks the accuracy required for auto-tuning").
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.core.algorithms import LowFidelityOnly
+from repro.core.ceal import Ceal, CealSettings
+from repro.experiments import AlgorithmSpec, run_trials, summarize
+from repro.experiments.figures import FigureResult
+
+
+def test_ablation_ceal_components(benchmark, scale):
+    specs = (
+        AlgorithmSpec("CEAL", lambda: Ceal(CealSettings(use_history=True))),
+        AlgorithmSpec(
+            "CEAL-noswitch",
+            lambda: Ceal(CealSettings(use_history=True, switch_enabled=False)),
+        ),
+        AlgorithmSpec(
+            "CEAL-noguard",
+            lambda: Ceal(
+                CealSettings(use_history=True, bias_guard_enabled=False)
+            ),
+        ),
+        AlgorithmSpec("LowFid-only", LowFidelityOnly),
+    )
+
+    def run():
+        trials = run_trials(
+            "LV",
+            "computer_time",
+            specs,
+            budget=50,
+            repeats=scale["repeats"],
+            pool_size=scale["pool_size"],
+            pool_seed=scale["seed"],
+        )
+        return summarize(trials)
+
+    summary = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    result = FigureResult("Ablation", "CEAL component ablations (LV comp, m=50)")
+    for name, stats in summary.items():
+        result.rows.append(
+            {
+                "arm": name,
+                "normalized": stats["normalized"],
+                "recall_top1": float(stats["recall"][0]),
+                "mdape_top2": stats["mdape_top2"],
+            }
+        )
+    emit(result)
+
+    assert summary["CEAL"]["normalized"] <= summary["LowFid-only"][
+        "normalized"
+    ] + 0.02
+    assert summary["CEAL"]["normalized"] <= summary["CEAL-noswitch"][
+        "normalized"
+    ] + 0.05
+    assert summary["CEAL"]["normalized"] <= summary["CEAL-noguard"][
+        "normalized"
+    ] + 0.05

@@ -1,0 +1,48 @@
+"""Fig. 5 — best configuration auto-tuned without historical measurements.
+
+Paper shape: CEAL's normalized execution/computer times beat RS, GEIST
+and AL across workflows and budgets (improvements of 10–72 %).
+"""
+
+import numpy as np
+from conftest import emit, mean_by
+
+from repro.experiments import fig05_best_config
+
+
+def test_fig05_best_config(benchmark, scale):
+    result = benchmark.pedantic(
+        fig05_best_config, kwargs=scale, rounds=1, iterations=1
+    )
+    emit(result)
+
+    means = mean_by(result.rows, ("algorithm",), "normalized")
+    # Aggregate ordering across all cells: CEAL beats RS and GEIST
+    # outright and is at worst statistically tied with AL (the paper's
+    # explicit AL comparisons are the LV computer-time cells, below).
+    assert means["CEAL"] < means["GEIST"]
+    assert means["CEAL"] < means["RS"]
+    assert means["CEAL"] < means["AL"] + 0.05
+    assert means["AL"] < means["RS"]
+
+    cells = mean_by(
+        result.rows, ("objective", "workflow", "samples", "algorithm"),
+        "normalized",
+    )
+    # Execution time: CEAL ties-or-beats AL in aggregate.
+    exec_ceal = np.mean(
+        [v for (o, w, s, a), v in cells.items()
+         if o == "execution_time" and a == "CEAL"]
+    )
+    exec_al = np.mean(
+        [v for (o, w, s, a), v in cells.items()
+         if o == "execution_time" and a == "AL"]
+    )
+    assert exec_ceal <= exec_al + 0.01
+    # LV computer time: the paper's quoted AL comparison — CEAL wins both
+    # budgets (paper: −12.7 % at 25 samples, −5.7 % at 50).
+    for budget in (25, 50):
+        assert (
+            cells[("computer_time", "LV", budget, "CEAL")]
+            < cells[("computer_time", "LV", budget, "AL")]
+        )

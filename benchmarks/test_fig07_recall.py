@@ -1,0 +1,27 @@
+"""Fig. 7 — robustness (top-n recall) without historical measurements.
+
+Paper shape: CEAL's recall curves dominate RS/GEIST/AL on the studied
+cases; RS's top-1 recall is near zero.
+"""
+
+import numpy as np
+from conftest import emit, mean_by
+
+from repro.experiments import fig07_recall
+
+
+def test_fig07_recall(benchmark, scale):
+    result = benchmark.pedantic(fig07_recall, kwargs=scale, rounds=1, iterations=1)
+    emit(result)
+
+    means = mean_by(result.rows, ("algorithm",), "recall_pct")
+    assert means["CEAL"] > means["RS"]
+    assert means["CEAL"] > means["GEIST"]
+    assert means["CEAL"] >= means["AL"] * 0.8
+
+    # RS's top-1 recall stays low (paper: ~2 %).
+    rs_top1 = [
+        r["recall_pct"] for r in result.rows
+        if r["algorithm"] == "RS" and r["top_n"] == 1
+    ]
+    assert np.mean(rs_top1) < 35.0

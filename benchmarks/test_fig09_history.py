@@ -1,0 +1,36 @@
+"""Fig. 9 — effect of historical component measurements on CEAL.
+
+Paper shape: free histories improve CEAL's tuned configurations in most
+cases (e.g. at 25 samples, LV −7.8 %, HS −38.9 %, GP −6.6 % computer
+time).
+"""
+
+from conftest import emit, mean_by
+
+from repro.experiments import fig09_history_effect
+
+
+def test_fig09_history_effect(benchmark, scale):
+    result = benchmark.pedantic(
+        fig09_history_effect, kwargs=scale, rounds=1, iterations=1
+    )
+    emit(result)
+
+    means = mean_by(result.rows, ("algorithm",), "normalized")
+    assert means["CEAL w/ histories"] <= means["CEAL w/o histories"]
+
+    # Histories help in the majority of individual cells.
+    cells = mean_by(
+        result.rows, ("objective", "workflow", "samples", "algorithm"),
+        "normalized",
+    )
+    wins = 0
+    total = 0
+    for (objective, workflow, samples, algo), value in cells.items():
+        if algo != "CEAL w/ histories":
+            continue
+        other = cells[(objective, workflow, samples, "CEAL w/o histories")]
+        total += 1
+        if value <= other + 1e-9:
+            wins += 1
+    assert wins >= total * 0.6

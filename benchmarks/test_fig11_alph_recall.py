@@ -1,0 +1,29 @@
+"""Fig. 11 — robustness (recall) of CEAL vs ALpH with histories.
+
+Paper shape: CEAL is always more robust than ALpH; on GP computer time
+with 25 samples CEAL's best-1/2/3 recall reaches 100 %.
+"""
+
+import numpy as np
+from conftest import emit, mean_by
+
+from repro.experiments import fig11_alph_recall
+
+
+def test_fig11_alph_recall(benchmark, scale):
+    result = benchmark.pedantic(
+        fig11_alph_recall, kwargs=scale, rounds=1, iterations=1
+    )
+    emit(result)
+
+    means = mean_by(result.rows, ("algorithm",), "recall_pct")
+    assert means["CEAL"] > means["ALpH"]
+
+    # GP computer time: CEAL's small-n recall is very high.
+    gp = [
+        r["recall_pct"]
+        for r in result.rows
+        if r["workflow"] == "GP" and r["algorithm"] == "CEAL"
+        and r["top_n"] <= 3
+    ]
+    assert np.mean(gp) >= 60.0

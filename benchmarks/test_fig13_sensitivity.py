@@ -1,0 +1,45 @@
+"""Fig. 13 — CEAL hyper-parameter sensitivity (LV computer time, m = 50).
+
+Paper shape: computer time converges with the iteration count and is
+stable over wide ranges of the random fraction m0/m and component
+fraction mR/m.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.experiments import fig13_sensitivity
+
+
+def test_fig13_sensitivity(benchmark, scale):
+    result = benchmark.pedantic(
+        fig13_sensitivity,
+        kwargs={
+            "repeats": max(2, scale["repeats"] - 1),
+            "pool_size": scale["pool_size"],
+            "seed": scale["seed"],
+            "iteration_grid": (1, 2, 4, 8),
+            "m0_grid": (0.05, 0.15, 0.35),
+            "mr_grid": (0.3, 0.5, 0.8),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+
+    def panel(name):
+        return [r for r in result.rows if r["panel"] == name]
+
+    # (a) iterations: the converged value (I=8) is no worse than I=1.
+    iters = panel("a:iterations")
+    for tag in ("w/o hist", "w/ hist"):
+        series = [r for r in iters if tag in r["setting"]]
+        first = next(r for r in series if r["setting"].startswith("I=1 "))
+        last = next(r for r in series if r["setting"].startswith("I=8 "))
+        assert last["mean_value"] <= first["mean_value"] * 1.1, tag
+
+    # (b, c) stability plateaus: the best and worst settings of each
+    # sweep stay within a modest band (the paper reports flat ranges).
+    for name in ("b:random_fraction", "c:component_fraction"):
+        values = [r["mean_value"] for r in panel(name)]
+        assert max(values) <= min(values) * 1.8, name

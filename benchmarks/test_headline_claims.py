@@ -1,0 +1,25 @@
+"""The abstract's headline numbers.
+
+Paper: at 50 training samples on LV, CEAL reduces tuned execution /
+computer time by 18.5 % / 47.5 % vs RS and 11.2 % / 39.8 % vs GEIST.
+The shape to hold: meaningful positive reductions against both
+baselines on both objectives.
+"""
+
+from conftest import emit
+
+from repro.experiments.headline import headline_claims
+
+
+def test_headline_claims(benchmark, scale):
+    result = benchmark.pedantic(
+        headline_claims, kwargs=scale, rounds=1, iterations=1
+    )
+    emit(result)
+
+    by_key = {(r["objective"], r["baseline"]): r["reduction_pct"] for r in result.rows}
+    # CEAL beats both baselines on both objectives.
+    for key, reduction in by_key.items():
+        assert reduction > 0.0, key
+    # Computer-time reductions vs RS are substantial (paper: 47.5 %).
+    assert by_key[("computer_time", "RS")] > 5.0

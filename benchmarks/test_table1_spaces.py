@@ -1,0 +1,26 @@
+"""Table 1 — parameter spaces of the three target workflows."""
+
+from conftest import emit
+
+from repro.experiments import table1_parameter_spaces
+
+
+def test_table1_parameter_spaces(benchmark):
+    result = benchmark.pedantic(table1_parameter_spaces, rounds=1, iterations=1)
+    emit(result)
+
+    sizes = {
+        row["workflow"]: row["n_options"]
+        for row in result.rows
+        if row["application"] == "(joint)"
+    }
+    # Same orders of magnitude as the paper's space sizes.
+    assert 1e9 < sizes["LV"] < 1e11
+    assert 1e10 < sizes["HS"] < 1e12
+    assert 1e7 < sizes["GP"] < 1e9
+    # Component spaces exceed 10^3, joint spaces are >10^5 larger (§2.3).
+    lammps = [r for r in result.rows if r["application"] == "lammps"]
+    component_size = 1
+    for row in lammps:
+        component_size *= row["n_options"]
+    assert sizes["LV"] / component_size > 1e4

@@ -1,0 +1,50 @@
+"""Quickstart: auto-tune an in-situ workflow with CEAL in ~20 lines.
+
+Tunes the LV workflow (LAMMPS molecular dynamics streaming into the
+Voro++ tessellator) for computer time under a budget of 50 workflow
+runs, then compares the tuned configuration against the paper's
+expert recommendation.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import AutoTuner
+from repro.insitu import measure_workflow
+from repro.workflows import expert_config, make_lv
+
+
+def main() -> None:
+    workflow = make_lv()
+
+    outcome = AutoTuner(
+        workflow,
+        objective="computer_time",
+        budget=50,          # total workflow-run budget m
+        pool_size=1000,     # candidate pool (paper: 2000)
+        use_history=True,   # reuse historical solo component measurements
+        seed=0,
+    ).tune()
+
+    expert = measure_workflow(
+        workflow, expert_config("LV", "computer_time"), noise_sigma=0
+    )
+
+    print(f"workflow           : {workflow.name} "
+          f"({' -> '.join(workflow.labels)})")
+    print(f"configuration space: {workflow.space.size():.2e} configurations")
+    print(f"budget             : {outcome.runs_used} workflow runs")
+    print(f"tuned configuration: {outcome.best_config}")
+    print(f"tuned computer time: {outcome.best_value:.2f} core-hours")
+    print(f"pool optimum       : {outcome.pool_best_value:.2f} core-hours "
+          f"(gap {outcome.gap_to_pool_best:.3f}x)")
+    print(f"expert recommends  : {expert.computer_core_hours:.2f} core-hours")
+    saved = expert.computer_core_hours - outcome.best_value
+    print(f"saved per run      : {saved:.2f} core-hours "
+          f"({saved / expert.computer_core_hours:.1%})")
+    print(f"tuning cost        : {outcome.cost:.1f} core-hours")
+    if saved > 0:
+        print(f"cost recouped after: {outcome.cost / saved:.0f} runs")
+
+
+if __name__ == "__main__":
+    main()

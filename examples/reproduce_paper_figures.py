@@ -1,0 +1,31 @@
+"""Regenerate paper figures/tables from Python (or use the CLI).
+
+Equivalent CLI:
+
+    python -m repro reproduce --target table2
+    python -m repro reproduce --target fig05 --repeats 10 --pool 1000
+
+This script regenerates Table 2 and Figure 4 at small scale and prints
+them; swap in any driver from ``repro.experiments`` (fig04..fig13,
+table1, table2).
+
+Run:  python examples/reproduce_paper_figures.py
+"""
+
+from repro.experiments import fig04_lowfid_recall, table2_best_vs_expert
+
+
+def main() -> None:
+    table2 = table2_best_vs_expert(pool_size=2000)
+    print(table2.to_text())
+    print()
+
+    fig4 = fig04_lowfid_recall(pool_size=500, max_n=10)
+    print(fig4.to_text())
+    print()
+    print("For the full evaluation: pytest benchmarks/ --benchmark-only")
+    print("(set REPRO_BENCH_REPEATS / REPRO_BENCH_POOL for paper-scale runs)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The offline environment lacks the ``wheel`` package, so PEP 660 editable
+installs fail; this shim lets ``pip install -e . --no-use-pep517
+--no-build-isolation`` (and plain ``pip install -e .`` on older pips) use
+the setuptools ``develop`` path instead.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

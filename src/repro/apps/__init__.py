@@ -1,0 +1,51 @@
+"""Analytical performance simulators of the paper's component applications.
+
+Each class models one real application from §7.1 as a *performance
+function*: given a configuration (process count, processes per node,
+threads, app-specific knobs) it produces per-step compute times, output
+data sizes, and startup costs on a simulated machine.  The models combine
+standard parallel-performance ingredients — Amdahl serial fractions,
+surface-to-volume halo exchange, latency-bound collectives, per-node
+memory-bandwidth and NIC contention (:mod:`repro.cluster.contention`) —
+with app-specific behaviour (thread efficiency, load imbalance,
+filesystem writes).
+
+The apps:
+
+================  =============================================  =========
+Class             Stands in for                                  Role
+================  =============================================  =========
+``Lammps``        LAMMPS molecular dynamics (16 000 atoms)       producer
+``VoroPlusPlus``  Voro++ Voronoi tessellation                    consumer
+``HeatTransfer``  Heat Transfer mini-app (2-D heat equation)     producer
+``StageWrite``    Stage Write I/O forwarder                      consumer
+``GrayScott``     Gray-Scott reaction-diffusion                  producer
+``PdfCalculator`` PDF calculator over Gray-Scott output          transform
+``GPlot``         serial Gray-Scott plotter (unconfigurable)     consumer
+``PPlot``         serial PDF plotter (unconfigurable)            consumer
+================  =============================================  =========
+"""
+
+from repro.apps.base import AppModelError, ComponentApp, SoloRunResult, StepProfile
+from repro.apps.gray_scott import GrayScott
+from repro.apps.heat_transfer import HeatTransfer
+from repro.apps.lammps import Lammps
+from repro.apps.pdf_calc import PdfCalculator
+from repro.apps.plotters import GPlot, PPlot
+from repro.apps.stage_write import StageWrite
+from repro.apps.voro import VoroPlusPlus
+
+__all__ = [
+    "AppModelError",
+    "ComponentApp",
+    "GPlot",
+    "GrayScott",
+    "HeatTransfer",
+    "Lammps",
+    "PPlot",
+    "PdfCalculator",
+    "SoloRunResult",
+    "StageWrite",
+    "StepProfile",
+    "VoroPlusPlus",
+]

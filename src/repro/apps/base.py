@@ -1,0 +1,154 @@
+"""Component-application interface.
+
+A :class:`ComponentApp` is everything the rest of the system needs to
+know about one application:
+
+* its tunable :class:`~repro.config.ParameterSpace` (one row block of
+  paper Table 1),
+* how a configuration maps to a node :class:`~repro.cluster.Placement`,
+* per-step behaviour — compute seconds, output bytes, persistent-storage
+  writes — via :meth:`ComponentApp.step_profile`, and
+* startup cost.
+
+The in-situ runner (:mod:`repro.insitu`) drives these per-step profiles
+through the DES engine; :meth:`ComponentApp.solo_run` produces the
+closed-form standalone execution used to train CEAL's component models.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.cluster.allocation import Placement
+from repro.cluster.machine import Machine
+from repro.config.space import Configuration, ParameterSpace
+
+__all__ = ["AppModelError", "StepProfile", "SoloRunResult", "ComponentApp"]
+
+#: Parallel-filesystem bandwidth visible to one allocation (GB/s).  The
+#: paper's motivation (§2.1) is precisely that this resource is scarce.
+PFS_BANDWIDTH_GBPS = 8.0
+
+
+class AppModelError(ValueError):
+    """Raised when a configuration cannot be interpreted by an app model."""
+
+
+@dataclass(frozen=True)
+class StepProfile:
+    """Per-step behaviour of a component under a given configuration.
+
+    Attributes
+    ----------
+    compute_seconds:
+        Local computation for one coupled step (excludes data exchange
+        with other components, which the in-situ runner adds).
+    output_bytes:
+        Data streamed to downstream components per step (0 for sinks).
+    write_bytes:
+        Data written to persistent storage per step (Stage Write, plot
+        files).  Informational: apps that write include the write time
+        in ``compute_seconds`` themselves, since their whole purpose is
+        writing; the field feeds I/O accounting and tests.
+    """
+
+    compute_seconds: float
+    output_bytes: float = 0.0
+    write_bytes: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.compute_seconds < 0 or self.output_bytes < 0 or self.write_bytes < 0:
+            raise ValueError("step profile entries must be non-negative")
+
+
+@dataclass(frozen=True)
+class SoloRunResult:
+    """Outcome of running a component standalone (paper §4).
+
+    ``execution_seconds`` is wall-clock; ``computer_core_hours`` follows
+    the paper's definition (wall-clock × nodes × cores per node).
+    """
+
+    execution_seconds: float
+    computer_core_hours: float
+    nodes: int
+
+
+class ComponentApp(abc.ABC):
+    """Abstract base of all component application models."""
+
+    #: Application name; also the label prefix in joint workflow spaces.
+    name: str = "app"
+
+    #: Input size per step assumed for standalone runs of consumers.
+    #: Solo component models are built from standalone behaviour, so a
+    #: mismatch between this nominal size and the producer's actual
+    #: output is one source of the low-fidelity model's error.
+    nominal_input_bytes: float = 0.0
+
+    @property
+    @abc.abstractmethod
+    def space(self) -> ParameterSpace:
+        """The component's tunable parameter space."""
+
+    @abc.abstractmethod
+    def placement(self, config: Configuration) -> Placement:
+        """Node placement implied by a configuration."""
+
+    @abc.abstractmethod
+    def step_profile(
+        self, machine: Machine, config: Configuration, input_bytes: float
+    ) -> StepProfile:
+        """Per-step behaviour given ``input_bytes`` of upstream data."""
+
+    def startup_seconds(self, machine: Machine, config: Configuration) -> float:
+        """Launch overhead; default MPI bring-up model."""
+        from repro.apps.scaling import startup_seconds
+
+        return startup_seconds(self.placement(config))
+
+    # -- standalone execution -------------------------------------------------------
+
+    def solo_run(
+        self, machine: Machine, config: Configuration, n_steps: int
+    ) -> SoloRunResult:
+        """Closed-form standalone run (trains CEAL's component models).
+
+        Producers write their stream to the parallel filesystem (the
+        post-hoc pattern of Fig. 2a); consumers read their nominal input
+        from it.  Per-step time is therefore compute plus a filesystem
+        transfer at the allocation's PFS bandwidth.
+        """
+        if n_steps < 1:
+            raise ValueError("n_steps must be >= 1")
+        placement = self.placement(config)
+        placement.validate(machine)
+        profile = self.step_profile(machine, config, self.nominal_input_bytes)
+        # Standalone producers dump their stream to the filesystem;
+        # standalone consumers read their nominal input back from it.
+        # (write_bytes is already accounted inside compute_seconds.)
+        pfs_seconds = (self.nominal_input_bytes + profile.output_bytes) / (
+            PFS_BANDWIDTH_GBPS * 1e9
+        )
+        exec_seconds = self.startup_seconds(machine, config) + n_steps * (
+            profile.compute_seconds + pfs_seconds
+        )
+        return SoloRunResult(
+            execution_seconds=exec_seconds,
+            computer_core_hours=machine.core_hours(exec_seconds, placement.nodes),
+            nodes=placement.nodes,
+        )
+
+    # -- conveniences ---------------------------------------------------------------
+
+    def validate_config(self, machine: Machine, config: Configuration) -> None:
+        """Raise when ``config`` is outside the space or unplaceable."""
+        if not self.space.contains(config):
+            raise AppModelError(
+                f"{self.name}: configuration {config!r} is outside the space"
+            )
+        self.placement(config).validate(machine)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,167 @@
+"""Command-line interface.
+
+Two subcommands::
+
+    python -m repro tune --workflow LV --objective computer_time --budget 50
+    python -m repro reproduce --target fig05 --repeats 10 --pool 1000
+
+``tune`` runs the auto-tuner once and prints the recommendation;
+``reproduce`` regenerates one of the paper's tables/figures and prints
+the rows.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main", "build_parser"]
+
+_TARGETS = {
+    "headline": ("headline_claims", True),
+    "table1": ("table1_parameter_spaces", False),
+    "table2": ("table2_best_vs_expert", False),
+    "fig04": ("fig04_lowfid_recall", False),
+    "fig05": ("fig05_best_config", True),
+    "fig06": ("fig06_mdape", True),
+    "fig07": ("fig07_recall", True),
+    "fig08": ("fig08_practicality", True),
+    "fig09": ("fig09_history_effect", True),
+    "fig10": ("fig10_ceal_vs_alph", True),
+    "fig11": ("fig11_alph_recall", True),
+    "fig12": ("fig12_alph_practicality", True),
+    "fig13": ("fig13_sensitivity", True),
+}
+
+_ALGORITHMS = ("ceal", "rs", "al", "geist", "alph", "bo", "ceal-bo")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CEAL in-situ workflow auto-tuning reproduction (SC '21)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    tune = sub.add_parser("tune", help="auto-tune one workflow")
+    tune.add_argument("--workflow", choices=("LV", "HS", "GP"), default="LV")
+    tune.add_argument(
+        "--objective",
+        choices=("execution_time", "computer_time"),
+        default="computer_time",
+    )
+    tune.add_argument("--budget", type=int, default=50,
+                      help="workflow-run budget m")
+    tune.add_argument("--algorithm", choices=_ALGORITHMS, default="ceal")
+    tune.add_argument("--pool-size", type=int, default=1000)
+    tune.add_argument("--seed", type=int, default=0)
+    tune.add_argument("--use-history", action="store_true",
+                      help="treat solo component measurements as free")
+
+    rep = sub.add_parser("reproduce", help="regenerate a paper table/figure")
+    rep.add_argument("--target", choices=sorted(_TARGETS), required=True)
+    rep.add_argument("--repeats", type=int, default=10)
+    rep.add_argument("--pool", type=int, default=1000)
+    rep.add_argument("--seed", type=int, default=2021)
+    rep.add_argument("--chart", action="store_true",
+                     help="also render an ASCII chart of the rows")
+    return parser
+
+
+def _make_algorithm(name: str, use_history: bool):
+    from repro.core import (
+        ActiveLearning,
+        Alph,
+        BayesianOptimization,
+        Ceal,
+        CealSettings,
+        Geist,
+        RandomSampling,
+    )
+
+    if name == "ceal":
+        return Ceal(CealSettings(use_history=use_history))
+    if name == "rs":
+        return RandomSampling()
+    if name == "al":
+        return ActiveLearning()
+    if name == "geist":
+        return Geist()
+    if name == "alph":
+        return Alph(use_history=use_history)
+    if name == "bo":
+        return BayesianOptimization()
+    if name == "ceal-bo":
+        return BayesianOptimization(bootstrap=True)
+    raise ValueError(f"unknown algorithm {name!r}")
+
+
+def _cmd_tune(args, out) -> int:
+    from repro.core import AutoTuner
+    from repro.workflows import make_workflow
+
+    workflow = make_workflow(args.workflow)
+    outcome = AutoTuner(
+        workflow,
+        objective=args.objective,
+        budget=args.budget,
+        algorithm=_make_algorithm(args.algorithm, args.use_history),
+        pool_size=args.pool_size,
+        use_history=args.use_history,
+        seed=args.seed,
+    ).tune()
+    named = workflow.space.as_dict(outcome.best_config)
+    print(f"workflow      : {args.workflow}", file=out)
+    print(f"objective     : {args.objective}", file=out)
+    print(f"algorithm     : {args.algorithm}", file=out)
+    print(f"budget        : {outcome.runs_used} runs", file=out)
+    print("recommended configuration:", file=out)
+    for key, value in named.items():
+        print(f"  {key:24s} = {value}", file=out)
+    unit = outcome.result.objective.unit
+    print(f"tuned value   : {outcome.best_value:.3f} {unit}", file=out)
+    print(
+        f"pool optimum  : {outcome.pool_best_value:.3f} {unit} "
+        f"(gap {outcome.gap_to_pool_best:.3f}x)",
+        file=out,
+    )
+    print(f"tuning cost   : {outcome.cost:.2f} {unit}", file=out)
+    return 0
+
+
+def _cmd_reproduce(args, out) -> int:
+    import repro.experiments as experiments
+
+    func_name, takes_scale = _TARGETS[args.target]
+    func = getattr(experiments, func_name)
+    if takes_scale:
+        result = func(repeats=args.repeats, pool_size=args.pool, seed=args.seed)
+    elif args.target == "fig04":
+        result = func(seed=args.seed)
+    elif args.target == "table2":
+        result = func(pool_size=max(args.pool, 2000), seed=args.seed)
+    else:
+        result = func()
+    print(result.to_text(), file=out)
+    if args.chart:
+        from repro.experiments.viz import render_figure
+
+        print(file=out)
+        print(render_figure(result), file=out)
+    return 0
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "tune":
+        return _cmd_tune(args, out)
+    if args.command == "reproduce":
+        return _cmd_reproduce(args, out)
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,73 @@
+"""Fabric topology model.
+
+A light two-level (switch group / node) topology captures what the
+streaming-transfer model needs from Omni-Path: hop counts between the
+node blocks of coupled components, from which per-message latency is
+derived.  Built on :mod:`networkx` so the graph can be inspected,
+visualised, or swapped for measured topologies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+__all__ = ["FabricTopology"]
+
+
+@dataclass
+class FabricTopology:
+    """Two-level fat-tree-ish fabric over ``n_nodes`` compute nodes.
+
+    Nodes ``0..n_nodes-1`` hang off edge switches of radix
+    ``nodes_per_switch``; all edge switches connect to a single core
+    switch.  Hop counts are therefore 0 (same node), 2 (same switch), or
+    4 (across the core).
+    """
+
+    n_nodes: int
+    nodes_per_switch: int = 16
+    graph: nx.Graph = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        if self.nodes_per_switch < 1:
+            raise ValueError("nodes_per_switch must be >= 1")
+        g = nx.Graph()
+        g.add_node("core")
+        for node in range(self.n_nodes):
+            switch = f"sw{node // self.nodes_per_switch}"
+            if switch not in g:
+                g.add_node(switch)
+                g.add_edge(switch, "core")
+            g.add_node(node)
+            g.add_edge(node, switch)
+        self.graph = g
+
+    def hops(self, a: int, b: int) -> int:
+        """Number of network links between nodes ``a`` and ``b``."""
+        self._check(a)
+        self._check(b)
+        if a == b:
+            return 0
+        return nx.shortest_path_length(self.graph, a, b)
+
+    def latency_us(self, a: int, b: int, per_hop_us: float = 0.6) -> float:
+        """One-way latency between two nodes, in microseconds."""
+        return self.hops(a, b) * per_hop_us
+
+    def block_distance(self, block_a: range, block_b: range) -> float:
+        """Mean hop count between two node blocks (component footprints)."""
+        if len(block_a) == 0 or len(block_b) == 0:
+            raise ValueError("node blocks must be non-empty")
+        total = 0
+        for a in block_a:
+            for b in block_b:
+                total += self.hops(a, b)
+        return total / (len(block_a) * len(block_b))
+
+    def _check(self, node: int) -> None:
+        if not 0 <= node < self.n_nodes:
+            raise ValueError(f"node {node} outside 0..{self.n_nodes - 1}")

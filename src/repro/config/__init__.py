@@ -1,0 +1,57 @@
+"""Discrete configuration spaces, constraints, and feature encodings.
+
+Every tunable entity in the reproduction — a component application or a
+whole in-situ workflow — exposes a :class:`~repro.config.space.ParameterSpace`
+describing the discrete options of each of its parameters (paper Table 1).
+Workflow spaces are built by joining component spaces with name prefixes
+(:func:`~repro.config.space.join_spaces`), mirroring the multiplicative
+configuration-space blow-up the paper highlights in §2.3.
+
+Feasibility (e.g. the 32-node allocation cap of the paper's runs) is
+expressed as :mod:`~repro.config.constraints` predicates, and ML feature
+vectors are produced by :mod:`~repro.config.encoding`.
+"""
+
+from repro.config.constraints import (
+    AllocationConstraint,
+    AndConstraint,
+    ComponentPlacementSpec,
+    Constraint,
+    PredicateConstraint,
+    conjoin,
+    nodes_for,
+)
+from repro.config.encoding import (
+    ConfigEncoder,
+    DerivedFeature,
+    component_footprint_features,
+)
+from repro.config.space import (
+    Configuration,
+    Parameter,
+    ParameterSpace,
+    choice,
+    geometric_range,
+    int_range,
+    join_spaces,
+)
+
+__all__ = [
+    "AllocationConstraint",
+    "AndConstraint",
+    "ComponentPlacementSpec",
+    "ConfigEncoder",
+    "Configuration",
+    "Constraint",
+    "DerivedFeature",
+    "Parameter",
+    "ParameterSpace",
+    "PredicateConstraint",
+    "choice",
+    "component_footprint_features",
+    "conjoin",
+    "geometric_range",
+    "int_range",
+    "join_spaces",
+    "nodes_for",
+]

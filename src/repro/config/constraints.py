@@ -1,0 +1,140 @@
+"""Feasibility constraints over configurations.
+
+The paper's runs use exclusive node allocations of at most 32 nodes, with
+components placed on disjoint node sets, 36 cores per node, and at most 35
+processes per node (Table 1).  Those machine-level rules couple parameters
+across components, so they cannot be baked into per-parameter option lists;
+instead they are expressed as predicates applied at sampling time.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.config.space import Configuration, ParameterSpace
+
+__all__ = [
+    "AllocationConstraint",
+    "AndConstraint",
+    "ComponentPlacementSpec",
+    "Constraint",
+    "PredicateConstraint",
+    "conjoin",
+    "nodes_for",
+]
+
+#: A constraint is any callable mapping a configuration to feasibility.
+Constraint = Callable[[Configuration], bool]
+
+
+def nodes_for(procs: int, procs_per_node: int) -> int:
+    """Number of nodes a component occupies: ``ceil(procs / ppn)``."""
+    if procs <= 0 or procs_per_node <= 0:
+        raise ValueError("procs and procs_per_node must be positive")
+    return math.ceil(procs / procs_per_node)
+
+
+@dataclass(frozen=True)
+class PredicateConstraint:
+    """Wrap a bare predicate with a human-readable description."""
+
+    predicate: Constraint
+    description: str = ""
+
+    def __call__(self, config: Configuration) -> bool:
+        return self.predicate(config)
+
+
+@dataclass(frozen=True)
+class AndConstraint:
+    """Conjunction of constraints; feasible iff all members accept."""
+
+    members: tuple[Constraint, ...]
+
+    def __call__(self, config: Configuration) -> bool:
+        return all(member(config) for member in self.members)
+
+
+@dataclass(frozen=True)
+class ComponentPlacementSpec:
+    """How to read one component's placement out of a joint configuration.
+
+    Parameters
+    ----------
+    procs_names:
+        Names of the parameters whose *product* is the component's process
+        count.  Heat Transfer uses a 2-D process grid (``px * py``); most
+        components use a single ``procs`` parameter.
+    ppn_name:
+        Name of the processes-per-node parameter, or ``None`` for serial
+        components (the plotters), which occupy one node.
+    threads_name:
+        Name of the threads-per-process parameter, if the component has one.
+    """
+
+    procs_names: tuple[str, ...]
+    ppn_name: str | None = None
+    threads_name: str | None = None
+
+    def procs(self, space: ParameterSpace, config: Configuration) -> int:
+        return math.prod(space.value(config, n) for n in self.procs_names)
+
+    def ppn(self, space: ParameterSpace, config: Configuration) -> int:
+        if self.ppn_name is None:
+            return 1
+        return space.value(config, self.ppn_name)
+
+    def threads(self, space: ParameterSpace, config: Configuration) -> int:
+        if self.threads_name is None:
+            return 1
+        return space.value(config, self.threads_name)
+
+    def nodes(self, space: ParameterSpace, config: Configuration) -> int:
+        return nodes_for(self.procs(space, config), self.ppn(space, config))
+
+
+@dataclass(frozen=True)
+class AllocationConstraint:
+    """Machine-level feasibility of a joint workflow configuration.
+
+    A configuration is feasible when
+
+    * every component's processes-per-node times threads-per-process fits
+      within a node's cores,
+    * every component's process count is at least its processes-per-node
+      (otherwise ``ppn`` overstates the real density), and
+    * the disjoint node footprints of all components (plus any fixed serial
+      components) fit within the allocation.
+    """
+
+    space: ParameterSpace
+    components: tuple[ComponentPlacementSpec, ...]
+    max_nodes: int
+    cores_per_node: int
+    extra_nodes: int = 0
+
+    def __call__(self, config: Configuration) -> bool:
+        total_nodes = self.extra_nodes
+        for comp in self.components:
+            procs = comp.procs(self.space, config)
+            ppn = comp.ppn(self.space, config)
+            threads = comp.threads(self.space, config)
+            if ppn * threads > self.cores_per_node:
+                return False
+            if procs < ppn:
+                return False
+            total_nodes += nodes_for(procs, ppn)
+        return total_nodes <= self.max_nodes
+
+    def total_nodes(self, config: Configuration) -> int:
+        """Node footprint of a configuration (defined also when infeasible)."""
+        return self.extra_nodes + sum(
+            comp.nodes(self.space, config) for comp in self.components
+        )
+
+
+def conjoin(*constraints: Constraint) -> Constraint:
+    """Convenience: conjunction of several constraints."""
+    return AndConstraint(tuple(constraints))

@@ -1,0 +1,117 @@
+"""Feature encodings of configurations for ML models.
+
+Tree ensembles split on feature thresholds, so raw parameter values are
+already usable features.  Derived features (node counts, total process
+counts, per-node densities) make resource-driven structure in the tuning
+landscape *axis-aligned*, which markedly helps small-sample tree models —
+the regime the paper operates in (tens of training samples).
+
+Workflow definitions register :class:`DerivedFeature` callables; the
+:class:`ConfigEncoder` assembles the full feature matrix.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config.space import Configuration, ParameterSpace
+
+__all__ = ["DerivedFeature", "ConfigEncoder"]
+
+
+@dataclass(frozen=True)
+class DerivedFeature:
+    """A named derived feature computed from a configuration.
+
+    Parameters
+    ----------
+    name:
+        Feature column name (reported by :meth:`ConfigEncoder.feature_names`).
+    func:
+        Maps ``(space, config)`` to a float.
+    """
+
+    name: str
+    func: Callable[[ParameterSpace, Configuration], float]
+
+    def __call__(self, space: ParameterSpace, config: Configuration) -> float:
+        return float(self.func(space, config))
+
+
+@dataclass(frozen=True)
+class ConfigEncoder:
+    """Encode configurations into dense float feature matrices.
+
+    The encoding is the concatenation of all raw parameter values (in space
+    order) with any registered derived features.
+    """
+
+    space: ParameterSpace
+    derived: tuple[DerivedFeature, ...] = ()
+
+    def feature_names(self) -> tuple[str, ...]:
+        """Column names of the encoded matrix."""
+        return self.space.names + tuple(d.name for d in self.derived)
+
+    @property
+    def n_features(self) -> int:
+        return self.space.dimension + len(self.derived)
+
+    def encode_one(self, config: Configuration) -> np.ndarray:
+        """Encode a single configuration to a 1-D feature vector."""
+        raw = np.asarray(config, dtype=np.float64)
+        if not self.derived:
+            return raw
+        extra = np.array(
+            [d(self.space, config) for d in self.derived], dtype=np.float64
+        )
+        return np.concatenate([raw, extra])
+
+    def encode(self, configs: Sequence[Configuration]) -> np.ndarray:
+        """Encode configurations into an ``(n, n_features)`` matrix."""
+        if len(configs) == 0:
+            return np.empty((0, self.n_features))
+        return np.vstack([self.encode_one(c) for c in configs])
+
+    def with_derived(self, *features: DerivedFeature) -> "ConfigEncoder":
+        """Return a new encoder with extra derived features appended."""
+        return ConfigEncoder(self.space, self.derived + tuple(features))
+
+
+def component_footprint_features(
+    label: str,
+    procs_names: Sequence[str],
+    ppn_name: str | None,
+    threads_name: str | None = None,
+) -> tuple[DerivedFeature, ...]:
+    """Standard derived features for one component's placement.
+
+    Produces ``<label>.nodes`` (node footprint), ``<label>.total_procs``
+    and, when a thread count exists, ``<label>.cores_used`` (per-node core
+    occupancy ``ppn * threads``).
+    """
+    import math
+
+    procs_names = tuple(procs_names)
+
+    def total_procs(space: ParameterSpace, config: Configuration) -> float:
+        return math.prod(space.value(config, n) for n in procs_names)
+
+    def nodes(space: ParameterSpace, config: Configuration) -> float:
+        procs = total_procs(space, config)
+        ppn = space.value(config, ppn_name) if ppn_name else 1
+        return math.ceil(procs / max(ppn, 1))
+
+    feats = [
+        DerivedFeature(f"{label}.total_procs", total_procs),
+        DerivedFeature(f"{label}.nodes", nodes),
+    ]
+    if threads_name is not None and ppn_name is not None:
+        def cores_used(space: ParameterSpace, config: Configuration) -> float:
+            return space.value(config, ppn_name) * space.value(config, threads_name)
+
+        feats.append(DerivedFeature(f"{label}.cores_used", cores_used))
+    return tuple(feats)

@@ -1,0 +1,70 @@
+"""The auto-tuner: CEAL and its comparison algorithms.
+
+Architecture (paper §2.2): a **collector** runs the target at selected
+configurations and accumulates cost, a **modeler** turns measurements
+into a surrogate model, and a **searcher** ranks candidate
+configurations with the surrogate.
+
+The modeler is where the algorithms differ:
+
+* :class:`~repro.core.algorithms.RandomSampling` (RS) — measure random
+  configurations, train once.
+* :class:`~repro.core.algorithms.ActiveLearning` (AL) — iteratively
+  measure the model's predicted-best batch.
+* :class:`~repro.core.algorithms.Geist` (GEIST) — semi-supervised label
+  spreading on a parameter graph guides the batches (ICS '18).
+* :class:`~repro.core.algorithms.Alph` (ALpH) — component-model
+  predictions become *features* of an AL surrogate (black-box
+  combination, §4).
+* :class:`~repro.core.ceal.Ceal` (CEAL) — the paper's contribution:
+  white-box component-model combination bootstraps the sampling of a
+  black-box surrogate, with dynamic model switching (Alg. 1).
+
+:class:`~repro.core.autotuner.AutoTuner` is the user-facing facade.
+"""
+
+from repro.core.algorithms import (
+    ActiveLearning,
+    Alph,
+    BayesianOptimization,
+    Geist,
+    RandomSampling,
+)
+from repro.core.autotuner import AutoTuner, TuningOutcome
+from repro.core.ceal import Ceal, CealSettings
+from repro.core.collector import BudgetExhausted, Collector
+from repro.core.component_models import ComponentModelSet
+from repro.core.ensembles import HyBoost, KnnModelSelector, Probing
+from repro.core.low_fidelity import LowFidelityModel
+from repro.core.metrics import least_number_of_uses, recall_score
+from repro.core.objectives import COMPUTER_TIME, EXECUTION_TIME, Objective
+from repro.core.problem import AutotuneResult, TuningProblem
+from repro.core.surrogate import SurrogateModel, default_surrogate
+
+__all__ = [
+    "ActiveLearning",
+    "Alph",
+    "AutoTuner",
+    "AutotuneResult",
+    "BayesianOptimization",
+    "BudgetExhausted",
+    "COMPUTER_TIME",
+    "Ceal",
+    "CealSettings",
+    "Collector",
+    "ComponentModelSet",
+    "EXECUTION_TIME",
+    "Geist",
+    "HyBoost",
+    "KnnModelSelector",
+    "LowFidelityModel",
+    "Probing",
+    "Objective",
+    "RandomSampling",
+    "SurrogateModel",
+    "TuningOutcome",
+    "TuningProblem",
+    "default_surrogate",
+    "least_number_of_uses",
+    "recall_score",
+]

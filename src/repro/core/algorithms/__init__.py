@@ -1,0 +1,27 @@
+"""Comparison auto-tuning algorithms (paper §7.3).
+
+All consume a :class:`~repro.core.problem.TuningProblem` and return an
+:class:`~repro.core.problem.AutotuneResult`; CEAL itself lives in
+:mod:`repro.core.ceal`.
+"""
+
+from repro.core.algorithms.active_learning import ActiveLearning
+from repro.core.algorithms.alph import Alph
+from repro.core.algorithms.bandit import RegionBandit
+from repro.core.algorithms.base import TuningAlgorithm, split_batches
+from repro.core.algorithms.bayesian import BayesianOptimization
+from repro.core.algorithms.geist import Geist
+from repro.core.algorithms.low_fidelity_only import LowFidelityOnly
+from repro.core.algorithms.random_sampling import RandomSampling
+
+__all__ = [
+    "ActiveLearning",
+    "Alph",
+    "BayesianOptimization",
+    "Geist",
+    "LowFidelityOnly",
+    "RandomSampling",
+    "RegionBandit",
+    "TuningAlgorithm",
+    "split_batches",
+]

@@ -1,0 +1,72 @@
+"""AL: batched active learning (paper §7.3, after [6, 29]).
+
+Seeds the surrogate with a random batch, then repeatedly retrains and
+measures the model's predicted-best unmeasured configurations.  This is
+the black-box technique CEAL "bootstraps": without the low-fidelity
+model, AL's early batches are steered by a surrogate trained on random
+(mostly mediocre) samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.algorithms.base import (
+    CandidateTracker,
+    TuningAlgorithm,
+    split_batches,
+)
+from repro.core.problem import AutotuneResult, TuningProblem
+
+__all__ = ["ActiveLearning"]
+
+
+@dataclass
+class ActiveLearning(TuningAlgorithm):
+    """Iterative predicted-top-batch selection.
+
+    Parameters
+    ----------
+    initial_fraction:
+        Share of the budget spent on the random seed batch.
+    iterations:
+        Number of model-guided batches after the seed.
+    """
+
+    initial_fraction: float = 0.3
+    iterations: int = 5
+    name: str = "AL"
+
+    def __post_init__(self) -> None:
+        if not 0 < self.initial_fraction < 1:
+            raise ValueError("initial_fraction must be in (0, 1)")
+        if self.iterations < 1:
+            raise ValueError("iterations must be >= 1")
+
+    def tune(self, problem: TuningProblem) -> AutotuneResult:
+        m = problem.budget
+        m_init = max(2, round(self.initial_fraction * m))
+        m_init = min(m_init, m - 1)
+        tracker = CandidateTracker(problem.pool_configs)
+        trace: list[dict] = []
+
+        seed_batch = problem.sample_unmeasured(tracker.remaining, m_init)
+        tracker.mark(seed_batch)
+        problem.collector.measure(seed_batch)
+
+        model = problem.make_surrogate()
+        for i, batch_size in enumerate(split_batches(m - m_init, self.iterations)):
+            measured = problem.collector.measured
+            model.fit(list(measured), list(measured.values()))
+            candidates = tracker.remaining
+            scores = model.predict(candidates)
+            batch = tracker.take_top(scores, candidates, batch_size)
+            tracker.mark(batch)
+            problem.collector.measure(batch)
+            trace.append(
+                {"iteration": i + 1, "batch": len(batch), "samples": len(measured)}
+            )
+
+        measured = problem.collector.measured
+        model.fit(list(measured), list(measured.values()))
+        return AutotuneResult.from_collector(self.name, problem, model, trace)

@@ -1,0 +1,102 @@
+"""ALpH: black-box component-model combination (paper §4).
+
+ALpH shares CEAL's first ingredient — per-component performance models —
+but combines them the black-box way: the component predictions
+``{v_j}`` become extra *features* of a workflow surrogate
+``M'_0 : (c, {v_j}) → v`` trained on actual workflow runs, with active
+learning selecting which runs to pay for.  Because the combination
+itself must be *learned* from workflow runs instead of being supplied by
+the analytical coupling model, ALpH needs more data to exploit the
+component knowledge — the deficiency §7.5 quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.algorithms.base import (
+    CandidateTracker,
+    TuningAlgorithm,
+    split_batches,
+)
+from repro.core.component_models import ComponentModelSet
+from repro.core.problem import AutotuneResult, TuningProblem
+
+__all__ = ["Alph"]
+
+
+@dataclass
+class Alph(TuningAlgorithm):
+    """AL over a surrogate whose features include component predictions.
+
+    Parameters
+    ----------
+    component_runs_fraction:
+        Budget share spent running components when no historical
+        measurements exist (ignored when the collector holds free
+        histories and ``use_history`` is true).
+    use_history:
+        Use the collector's free historical component measurements
+        (the §7.5 setting) instead of paying for component runs.
+    initial_fraction, iterations:
+        As in plain active learning.
+    """
+
+    component_runs_fraction: float = 0.5
+    use_history: bool = True
+    initial_fraction: float = 0.3
+    iterations: int = 5
+    name: str = "ALpH"
+
+    def tune(self, problem: TuningProblem) -> AutotuneResult:
+        m = problem.budget
+        trace: list[dict] = []
+
+        # -- component models ------------------------------------------------
+        if self.use_history and problem.collector.histories:
+            component_data = problem.collector.free_component_history()
+            m_workflow = m
+        else:
+            n_batches = max(2, round(self.component_runs_fraction * m))
+            n_batches = min(n_batches, m - 2)
+            component_data = problem.collector.measure_components(
+                n_batches, problem.rng
+            )
+            m_workflow = m - n_batches
+        component_models = ComponentModelSet.train(
+            problem.workflow,
+            problem.objective,
+            component_data,
+            random_state=problem.seed,
+        )
+
+        def component_features(configs) -> np.ndarray:
+            return component_models.predict_components(configs).T
+
+        model = problem.make_surrogate(extra_features=component_features)
+
+        # -- active learning over the augmented surrogate ----------------------
+        m_init = max(2, round(self.initial_fraction * m_workflow))
+        m_init = min(m_init, m_workflow - 1)
+        tracker = CandidateTracker(problem.pool_configs)
+        seed_batch = problem.sample_unmeasured(tracker.remaining, m_init)
+        tracker.mark(seed_batch)
+        problem.collector.measure(seed_batch)
+
+        for i, batch_size in enumerate(
+            split_batches(m_workflow - m_init, self.iterations)
+        ):
+            measured = problem.collector.measured
+            model.fit(list(measured), list(measured.values()))
+            candidates = tracker.remaining
+            scores = model.predict(candidates)
+            batch = tracker.take_top(scores, candidates, batch_size)
+            tracker.mark(batch)
+            problem.collector.measure(batch)
+            trace.append({"iteration": i + 1, "batch": len(batch)})
+
+        measured = problem.collector.measured
+        model.fit(list(measured), list(measured.values()))
+        return AutotuneResult.from_collector(self.name, problem, model, trace)

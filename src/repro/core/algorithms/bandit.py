@@ -1,0 +1,156 @@
+"""RL-flavoured region-bandit tuner (paper §9 future work).
+
+The paper's future work proposes reinforcement learning that
+"dynamically update[s] the sample pool containing higher-performing
+configurations according to measured configurations".  The minimal
+rigorous instance of that idea is a multi-armed bandit over *regions*
+of the candidate pool:
+
+1. cluster the pool in normalised parameter space (k-means),
+2. treat each cluster as an arm whose reward is the (negated,
+   normalised) measured objective of configurations sampled from it,
+3. select arms by UCB1 — exploration bonuses shrink for regions that
+   keep disappointing, so sampling concentrates on well-performing
+   regions exactly as the paper envisions, and
+4. inside the chosen region, pick the surrogate's best unmeasured
+   configuration once enough data exists (random before that).
+
+The final surrogate is the same boosted-tree model the other
+algorithms train, so all §7.2 metrics are comparable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.algorithms.base import CandidateTracker, TuningAlgorithm
+from repro.core.problem import AutotuneResult, TuningProblem
+
+__all__ = ["RegionBandit"]
+
+
+def _kmeans(points: np.ndarray, k: int, rng: np.random.Generator,
+            iterations: int = 20) -> np.ndarray:
+    """Plain k-means labels on normalised points (numpy only)."""
+    n = points.shape[0]
+    k = min(k, n)
+    centers = points[rng.choice(n, size=k, replace=False)]
+    labels = np.zeros(n, dtype=np.int64)
+    for _ in range(iterations):
+        d2 = ((points[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+        new_labels = d2.argmin(axis=1)
+        if np.array_equal(new_labels, labels):
+            break
+        labels = new_labels
+        for j in range(k):
+            mask = labels == j
+            if mask.any():
+                centers[j] = points[mask].mean(axis=0)
+    return labels
+
+
+@dataclass
+class RegionBandit(TuningAlgorithm):
+    """UCB1 over pool regions with a surrogate-guided inner pick.
+
+    Parameters
+    ----------
+    n_regions:
+        Number of pool clusters (arms).
+    exploration:
+        UCB exploration coefficient ``c`` in
+        ``mean_reward + c·sqrt(ln N / n_arm)``.
+    warmup_per_region:
+        Random configurations measured per region before UCB starts.
+    """
+
+    n_regions: int = 8
+    exploration: float = 0.7
+    warmup_per_region: int = 1
+    name: str = "Bandit"
+
+    def __post_init__(self) -> None:
+        if self.n_regions < 2:
+            raise ValueError("n_regions must be >= 2")
+        if self.exploration < 0:
+            raise ValueError("exploration must be non-negative")
+
+    def tune(self, problem: TuningProblem) -> AutotuneResult:
+        collector = problem.collector
+        m = problem.budget
+        configs = list(problem.pool_configs)
+        points = problem.workflow.space.normalize(configs)
+        labels = _kmeans(points, self.n_regions, problem.rng)
+        regions: dict[int, list] = {}
+        for config, region in zip(configs, labels):
+            regions.setdefault(int(region), []).append(config)
+
+        tracker = CandidateTracker(configs)
+        model = problem.make_surrogate()
+        rewards: dict[int, list] = {r: [] for r in regions}
+        trace: list[dict] = []
+
+        def remaining_in(region: int) -> list:
+            available = set(tracker.remaining)
+            return [c for c in regions[region] if c in available]
+
+        # -- warm-up: seed every region --------------------------------------
+        for region in sorted(regions):
+            for _ in range(self.warmup_per_region):
+                if collector.runs_remaining <= 0:
+                    break
+                candidates = remaining_in(region)
+                if not candidates:
+                    break
+                pick = problem.sample_unmeasured(candidates, 1)
+                tracker.mark(pick)
+                measured = collector.measure(pick)
+                for value in measured.values():
+                    rewards[region].append(value)
+
+        # -- UCB loop ----------------------------------------------------------
+        while collector.runs_remaining > 0:
+            measured_all = collector.measured
+            if not measured_all:
+                break
+            scale = float(np.median(list(measured_all.values())))
+            total_pulls = sum(len(v) for v in rewards.values())
+            best_region, best_ucb = None, -math.inf
+            for region in regions:
+                if not remaining_in(region):
+                    continue
+                pulls = rewards[region]
+                if not pulls:
+                    ucb = math.inf
+                else:
+                    mean_reward = float(np.mean([-v / scale for v in pulls]))
+                    ucb = mean_reward + self.exploration * math.sqrt(
+                        math.log(max(total_pulls, 2)) / len(pulls)
+                    )
+                if ucb > best_ucb:
+                    best_region, best_ucb = region, ucb
+            if best_region is None:
+                break
+            candidates = remaining_in(best_region)
+            if len(measured_all) >= 5:
+                model.fit(list(measured_all), list(measured_all.values()))
+                scores = model.predict(candidates)
+                pick = [candidates[int(np.argmin(scores))]]
+            else:
+                pick = problem.sample_unmeasured(candidates, 1)
+            tracker.mark(pick)
+            measured = collector.measure(pick)
+            for value in measured.values():
+                rewards[best_region].append(value)
+            trace.append(
+                {"region": best_region, "ucb": best_ucb, "picked": pick[0]}
+            )
+
+        measured_all = collector.measured
+        if len(measured_all) < 2:
+            raise RuntimeError("bandit obtained fewer than 2 samples")
+        model.fit(list(measured_all), list(measured_all.values()))
+        return AutotuneResult.from_collector(self.name, problem, model, trace)

@@ -1,0 +1,157 @@
+"""BO: Bayesian-optimization tuner (paper §9 future work).
+
+The paper names Bayesian optimisation as an alternative black-box
+technique for the bootstrapping method, attractive because it
+"naturally consider[s] noise in selecting top configurations".  This
+implements batched BO over the candidate pool with a Gaussian-process
+surrogate (:mod:`repro.ml.gaussian_process`) and expected-improvement
+acquisition, in two flavours:
+
+* plain BO (``bootstrap=False``) — random seed batch, like AL; and
+* **CEAL-BO** (``bootstrap=True``) — the bootstrapping method with BO as
+  the black-box stage: the seed batch is the low-fidelity model's top
+  picks plus ``m0/2`` random configurations, exactly CEAL's phase-2
+  opening move.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.stats import norm
+
+from repro.core.algorithms.base import (
+    CandidateTracker,
+    TuningAlgorithm,
+    split_batches,
+)
+from repro.core.component_models import ComponentModelSet
+from repro.core.low_fidelity import LowFidelityModel
+from repro.core.problem import AutotuneResult, TuningProblem
+from repro.ml.gaussian_process import GaussianProcessRegressor
+
+__all__ = ["BayesianOptimization"]
+
+
+class _GpPoolModel:
+    """Adapter: GP over encoded configurations with a ``predict`` API."""
+
+    def __init__(self, encoder, gp: GaussianProcessRegressor):
+        self.encoder = encoder
+        self.gp = gp
+
+    def fit(self, configs, values):
+        self.gp.fit(self.encoder.encode(configs), np.asarray(values))
+        return self
+
+    def predict(self, configs):
+        if len(configs) == 0:
+            return np.empty(0)
+        return self.gp.predict(self.encoder.encode(configs))
+
+    def expected_improvement(self, configs, best_observed: float) -> np.ndarray:
+        """EI of *improvement below* the incumbent (minimisation)."""
+        X = self.encoder.encode(configs)
+        mean, std = self.gp.predict_latent(X)
+        best = float(self.gp.to_latent(np.array([best_observed]))[0])
+        z = (best - mean) / np.maximum(std, 1e-12)
+        return (best - mean) * norm.cdf(z) + std * norm.pdf(z)
+
+
+@dataclass
+class BayesianOptimization(TuningAlgorithm):
+    """Batched BO over the candidate pool.
+
+    Parameters
+    ----------
+    iterations:
+        Acquisition batches after the seed batch.
+    initial_fraction:
+        Budget share of the seed batch.
+    bootstrap:
+        Seed with the low-fidelity (component-combined) model's top
+        picks instead of pure random — BO slotted into the paper's
+        bootstrapping method.
+    component_runs_fraction:
+        ``m_R/m`` when bootstrapping without free histories.
+    """
+
+    iterations: int = 6
+    initial_fraction: float = 0.3
+    bootstrap: bool = False
+    component_runs_fraction: float = 0.3
+    name: str = "BO"
+
+    def __post_init__(self) -> None:
+        if self.bootstrap:
+            self.name = "CEAL-BO"
+
+    def tune(self, problem: TuningProblem) -> AutotuneResult:
+        m = problem.budget
+        tracker = CandidateTracker(problem.pool_configs)
+        trace: list[dict] = []
+
+        # -- seed batch -------------------------------------------------------
+        if self.bootstrap:
+            if problem.collector.histories:
+                component_data = problem.collector.free_component_history()
+                m_workflow = m
+            else:
+                n_batches = max(2, round(self.component_runs_fraction * m))
+                component_data = problem.collector.measure_components(
+                    n_batches, problem.rng
+                )
+                m_workflow = m - n_batches
+            low_fidelity = LowFidelityModel(
+                ComponentModelSet.train(
+                    problem.workflow,
+                    problem.objective,
+                    component_data,
+                    random_state=problem.seed,
+                )
+            )
+            m_init = max(2, round(self.initial_fraction * m_workflow))
+            m_init = min(m_init, m_workflow - 1)
+            n_random = max(1, m_init // 3)
+            seed_batch = problem.sample_unmeasured(tracker.remaining, n_random)
+            tracker.mark(seed_batch)
+            candidates = tracker.remaining
+            top = tracker.take_top(
+                low_fidelity.predict(candidates), candidates, m_init - n_random
+            )
+            tracker.mark(top)
+            seed_batch = seed_batch + top
+        else:
+            m_workflow = m
+            m_init = max(2, round(self.initial_fraction * m_workflow))
+            m_init = min(m_init, m_workflow - 1)
+            seed_batch = problem.sample_unmeasured(tracker.remaining, m_init)
+            tracker.mark(seed_batch)
+        problem.collector.measure(seed_batch)
+
+        # -- acquisition loop ----------------------------------------------------
+        model = _GpPoolModel(
+            problem.workflow.encoder(), GaussianProcessRegressor()
+        )
+        for i, batch_size in enumerate(
+            split_batches(m_workflow - m_init, self.iterations)
+        ):
+            measured = problem.collector.measured
+            model.fit(list(measured), list(measured.values()))
+            candidates = tracker.remaining
+            if not candidates:
+                break
+            ei = model.expected_improvement(
+                candidates, min(measured.values())
+            )
+            batch = tracker.take_top(-ei, candidates, batch_size)
+            tracker.mark(batch)
+            problem.collector.measure(batch)
+            trace.append(
+                {"iteration": i + 1, "batch": len(batch), "max_ei": float(ei.max())}
+            )
+
+        measured = problem.collector.measured
+        model.fit(list(measured), list(measured.values()))
+        return AutotuneResult.from_collector(self.name, problem, model, trace)

@@ -1,0 +1,60 @@
+"""Pure low-fidelity tuner (ablation: white-box modeling alone).
+
+Measures only the analytical coupling model's top-ranked configurations
+and uses the ACM itself as the final searcher model.  This is the
+"ACM without bootstrapping" arm of the design-choice ablations: it
+isolates how far the component-combined model gets *without* the
+high-fidelity phase, quantifying §3's claim that the low-fidelity model
+alone is not accurate enough for auto-tuning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.algorithms.base import CandidateTracker, TuningAlgorithm
+from repro.core.component_models import ComponentModelSet
+from repro.core.low_fidelity import LowFidelityModel
+from repro.core.problem import AutotuneResult, TuningProblem
+
+__all__ = ["LowFidelityOnly"]
+
+
+@dataclass
+class LowFidelityOnly(TuningAlgorithm):
+    """Rank the pool with the ACM, measure its top picks, return the ACM.
+
+    Parameters
+    ----------
+    component_runs_fraction:
+        ``m_R/m`` when no free histories are attached.
+    """
+
+    component_runs_fraction: float = 0.5
+    name: str = "LowFid"
+
+    def tune(self, problem: TuningProblem) -> AutotuneResult:
+        collector = problem.collector
+        m = problem.budget
+        if collector.histories:
+            component_data = collector.free_component_history()
+            m_workflow = m
+        else:
+            n_batches = max(2, round(self.component_runs_fraction * m))
+            component_data = collector.measure_components(n_batches, problem.rng)
+            m_workflow = m - n_batches
+        model = LowFidelityModel(
+            ComponentModelSet.train(
+                problem.workflow,
+                problem.objective,
+                component_data,
+                random_state=problem.seed,
+            )
+        )
+        tracker = CandidateTracker(problem.pool_configs)
+        candidates = tracker.remaining
+        top = tracker.take_top(
+            model.predict(candidates), candidates, m_workflow
+        )
+        collector.measure(top)
+        return AutotuneResult.from_collector(self.name, problem, model)

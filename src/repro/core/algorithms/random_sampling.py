@@ -1,0 +1,34 @@
+"""RS: random sampling (paper §7.3).
+
+Measures ``m`` uniformly random pool configurations and trains the
+surrogate once.  The canonical indiscriminate-sampling baseline: its
+samples land mostly in mediocre regions, so its model is comparably
+accurate everywhere but not *especially* accurate where it matters
+(Fig. 6's intuition).
+"""
+
+from __future__ import annotations
+
+from repro.core.algorithms.base import CandidateTracker, TuningAlgorithm
+from repro.core.problem import AutotuneResult, TuningProblem
+
+__all__ = ["RandomSampling"]
+
+
+class RandomSampling(TuningAlgorithm):
+    """Measure a random sample, fit once."""
+
+    name = "RS"
+
+    def tune(self, problem: TuningProblem) -> AutotuneResult:
+        tracker = CandidateTracker(problem.pool_configs)
+        batch = problem.sample_unmeasured(tracker.remaining, problem.budget)
+        tracker.mark(batch)
+        problem.collector.measure(batch)
+        measured = problem.collector.measured
+        if len(measured) < 2:
+            raise RuntimeError("random sampling obtained fewer than 2 samples")
+        model = problem.make_surrogate().fit(
+            list(measured), list(measured.values())
+        )
+        return AutotuneResult.from_collector(self.name, problem, model)

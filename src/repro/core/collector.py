@@ -1,0 +1,203 @@
+"""The collector: measured runs, budget accounting, cost accounting.
+
+Experiments follow the paper's protocol: the candidate set is a
+pre-measured pool, so "running the workflow" is a lookup — but the
+collector still enforces the run budget ``m`` and accumulates the *cost*
+``c`` of §7.2.3 (the sum of the training samples' execution times or
+computer times), which the practicality metric divides by the achieved
+improvement.
+
+Component applications are "run" against pre-measured solo histories
+(paper §7.1: 500 solo configurations per configurable component).  One
+*batch* — every component once — is charged as one workflow run
+(§6: cost of ``m_R`` component batches ≡ ``m_R`` runs).
+
+An optional failure injector models the job-level faults the paper's
+Swift/T collector tolerates via ``MPI_Comm_launch``: a failed run
+consumes budget and cost but yields no training sample.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config.space import Configuration
+from repro.core.objectives import Objective
+from repro.insitu.measurement import WorkflowMeasurement
+from repro.workflows.pools import MeasuredPool
+
+__all__ = ["BudgetExhausted", "Collector", "ComponentBatchData"]
+
+
+class BudgetExhausted(RuntimeError):
+    """Raised when a measurement would exceed the run budget."""
+
+
+@dataclass(frozen=True)
+class ComponentBatchData:
+    """Solo measurements of one component gathered by the collector."""
+
+    label: str
+    configs: tuple[Configuration, ...]
+    execution_seconds: np.ndarray
+    computer_core_hours: np.ndarray
+
+    def objective_values(self, objective: Objective) -> np.ndarray:
+        if objective.name == "execution_time":
+            return self.execution_seconds
+        return self.computer_core_hours
+
+
+@dataclass
+class Collector:
+    """Budgeted access to workflow and component measurements.
+
+    Parameters
+    ----------
+    pool:
+        Pre-measured workflow pool (ground truth for pool configs).
+    objective:
+        The metric being optimised; ``measure`` returns its values.
+    histories:
+        Per-label solo measurement sets components are "run" against.
+    budget_runs:
+        Total workflow-run budget ``m``; ``None`` disables enforcement.
+    failure_rate / failure_seed:
+        Optional fault injection: each run fails independently with this
+        probability (budget and cost are still charged).
+    """
+
+    pool: MeasuredPool
+    objective: Objective
+    histories: dict = field(default_factory=dict)
+    budget_runs: int | None = None
+    failure_rate: float = 0.0
+    failure_seed: int = 0
+
+    runs_used: int = field(init=False, default=0)
+    cost_execution_seconds: float = field(init=False, default=0.0)
+    cost_core_hours: float = field(init=False, default=0.0)
+    failures: int = field(init=False, default=0)
+    _measured: dict = field(init=False, default_factory=dict)
+    _fail_rng: np.random.Generator = field(init=False, repr=False, default=None)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.failure_rate < 1.0:
+            raise ValueError("failure_rate must be in [0, 1)")
+        self._fail_rng = np.random.default_rng(self.failure_seed)
+
+    # -- budget ---------------------------------------------------------------
+
+    @property
+    def runs_remaining(self) -> int:
+        """Remaining run budget (a large number when unenforced)."""
+        if self.budget_runs is None:
+            return 10**9
+        return self.budget_runs - self.runs_used
+
+    def _charge(self, runs: int) -> None:
+        if self.budget_runs is not None and self.runs_used + runs > self.budget_runs:
+            raise BudgetExhausted(
+                f"requested {runs} runs with only {self.runs_remaining} left "
+                f"of budget {self.budget_runs}"
+            )
+        self.runs_used += runs
+
+    # -- workflow runs -----------------------------------------------------------
+
+    def measure(self, configs: Sequence[Configuration]) -> dict:
+        """Run the workflow at ``configs``; return ``{config: value}``.
+
+        Failed runs (fault injection) are charged but omitted from the
+        result.  Re-measuring an already-measured configuration is a
+        programming error — it would silently waste budget.
+        """
+        out: dict = {}
+        for config in configs:
+            config = tuple(config)
+            if config in self._measured:
+                raise ValueError(
+                    f"configuration {config!r} was already measured; "
+                    "algorithms must draw fresh configurations"
+                )
+            self._charge(1)
+            measurement = self.pool.lookup(config)
+            self.cost_execution_seconds += measurement.execution_seconds
+            self.cost_core_hours += measurement.computer_core_hours
+            if self.failure_rate > 0 and self._fail_rng.random() < self.failure_rate:
+                self.failures += 1
+                continue
+            value = measurement.objective(self.objective.name)
+            self._measured[config] = value
+            out[config] = value
+        return out
+
+    @property
+    def measured(self) -> dict:
+        """All successful workflow measurements so far ``{config: value}``."""
+        return dict(self._measured)
+
+    def measurement_of(self, config: Configuration) -> WorkflowMeasurement:
+        """Full measurement record of an already-measured configuration."""
+        config = tuple(config)
+        if config not in self._measured:
+            raise KeyError(f"{config!r} has not been measured")
+        return self.pool.lookup(config)
+
+    # -- component runs -------------------------------------------------------------
+
+    def measure_components(
+        self, n_batches: int, rng: np.random.Generator
+    ) -> dict[str, ComponentBatchData]:
+        """Run every component ``n_batches`` times at random configurations.
+
+        Draws without replacement from each component's history set and
+        charges ``n_batches`` workflow runs plus the solo costs.
+        """
+        if n_batches < 0:
+            raise ValueError("n_batches must be non-negative")
+        if n_batches == 0:
+            return {}
+        if not self.histories:
+            raise RuntimeError("collector has no component histories to draw from")
+        self._charge(n_batches)
+        out: dict[str, ComponentBatchData] = {}
+        for label, history in self.histories.items():
+            if n_batches > len(history):
+                raise ValueError(
+                    f"component {label!r} has only {len(history)} solo "
+                    f"measurements, cannot run {n_batches}"
+                )
+            idx = rng.choice(len(history), size=n_batches, replace=False)
+            subset = history.subset(idx)
+            self.cost_execution_seconds += float(subset.execution_seconds.sum())
+            self.cost_core_hours += float(subset.computer_core_hours.sum())
+            out[label] = ComponentBatchData(
+                label=label,
+                configs=subset.configs,
+                execution_seconds=subset.execution_seconds,
+                computer_core_hours=subset.computer_core_hours,
+            )
+        return out
+
+    def free_component_history(self) -> dict[str, ComponentBatchData]:
+        """All historical component measurements, free of charge (§7.5)."""
+        return {
+            label: ComponentBatchData(
+                label=label,
+                configs=history.configs,
+                execution_seconds=history.execution_seconds,
+                computer_core_hours=history.computer_core_hours,
+            )
+            for label, history in self.histories.items()
+        }
+
+    def cost(self, objective: Objective | None = None) -> float:
+        """Accumulated data-collection cost ``c`` in objective units."""
+        objective = objective or self.objective
+        if objective.name == "execution_time":
+            return self.cost_execution_seconds
+        return self.cost_core_hours

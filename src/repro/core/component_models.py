@@ -1,0 +1,133 @@
+"""Per-component performance models (paper §4, Alg. 1 lines 1–5).
+
+Each configurable component gets one boosted-tree model per objective,
+trained on its solo measurements (budgeted runs and/or free history).
+Unconfigurable components (single-configuration spaces, e.g. the GP
+plotters) get constant predictors from one solo run — the paper's
+observation that G-Plot contributes a fixed ≈97 s to every GP
+configuration flows straight through the ``max`` combination.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config.encoding import ConfigEncoder
+from repro.config.space import Configuration
+from repro.core.collector import ComponentBatchData
+from repro.core.objectives import Objective
+from repro.insitu.workflow import WorkflowDefinition
+from repro.ml.boosting import GradientBoostedTrees
+
+__all__ = ["ComponentModelSet"]
+
+
+def _component_regressor(random_state: int | None) -> GradientBoostedTrees:
+    """Reference component-model regressor (small spaces, few samples)."""
+    return GradientBoostedTrees(
+        n_estimators=120,
+        learning_rate=0.08,
+        max_depth=4,
+        min_samples_leaf=2,
+        subsample=0.9,
+        log_target=True,
+        random_state=random_state,
+    )
+
+
+@dataclass
+class _ComponentModel:
+    """Model of one component for one objective."""
+
+    label: str
+    encoder: ConfigEncoder | None  # None for constant predictors
+    regressor: GradientBoostedTrees | None
+    constant: float | None
+
+    def predict(self, comp_configs: Sequence[Configuration]) -> np.ndarray:
+        if self.constant is not None:
+            return np.full(len(comp_configs), self.constant)
+        return self.regressor.predict(self.encoder.encode(comp_configs))
+
+
+@dataclass
+class ComponentModelSet:
+    """Trained models ``M_j^cpnt`` for every component of a workflow.
+
+    Build with :meth:`train`; query through
+    :meth:`predict_components`, which extracts each component's
+    sub-configuration from joint workflow configurations and returns an
+    ``(n_components, n_configs)`` prediction matrix ready for the
+    analytical coupling model.
+    """
+
+    workflow: WorkflowDefinition
+    objective: Objective
+    models: dict = field(default_factory=dict)
+
+    @classmethod
+    def train(
+        cls,
+        workflow: WorkflowDefinition,
+        objective: Objective,
+        component_data: dict[str, ComponentBatchData],
+        random_state: int | None = None,
+    ) -> "ComponentModelSet":
+        """Train per-component models from solo measurement batches.
+
+        Components absent from ``component_data`` (the unconfigurable
+        ones) are modelled as constants via one closed-form solo run.
+        """
+        models: dict = {}
+        for label in workflow.labels:
+            app = workflow.app(label)
+            if label in component_data and app.space.size() > 1:
+                data = component_data[label]
+                if len(data.configs) < 2:
+                    raise ValueError(
+                        f"component {label!r} needs at least 2 solo samples"
+                    )
+                encoder = ConfigEncoder(app.space)
+                regressor = _component_regressor(random_state)
+                regressor.fit(
+                    encoder.encode(data.configs),
+                    data.objective_values(objective),
+                )
+                models[label] = _ComponentModel(label, encoder, regressor, None)
+            else:
+                # Constant predictor from the single/default configuration.
+                if app.space.size() == 1:
+                    only = next(app.space.enumerate())
+                else:
+                    raise ValueError(
+                        f"no solo data for configurable component {label!r}"
+                    )
+                solo = workflow.solo_run(label, only)
+                value = (
+                    solo.execution_seconds
+                    if objective.name == "execution_time"
+                    else solo.computer_core_hours
+                )
+                models[label] = _ComponentModel(label, None, None, value)
+        return cls(workflow=workflow, objective=objective, models=models)
+
+    def predict_components(
+        self, configs: Sequence[Configuration]
+    ) -> np.ndarray:
+        """Per-component predictions for joint configurations.
+
+        Returns an ``(n_components, n_configs)`` matrix ordered like
+        ``workflow.labels``.
+        """
+        if len(configs) == 0:
+            return np.empty((len(self.workflow.labels), 0))
+        rows = []
+        for label in self.workflow.labels:
+            comp_configs = [
+                self.workflow.component_config(label, c) for c in configs
+            ]
+            rows.append(self.models[label].predict(comp_configs))
+        return np.vstack(rows)

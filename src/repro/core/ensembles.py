@@ -1,0 +1,167 @@
+"""Didona-style analytical/ML ensembles (paper §8.2).
+
+The paper surveys three ways of combining an analytical model (AM) with
+machine learning (Didona et al., ICPE '15) and argues that two of them
+fit in-situ auto-tuning poorly; this module implements all three so the
+ablation benchmarks can test those arguments empirically:
+
+* :class:`KnnModelSelector` — per-query model selection: predict with
+  whichever candidate model (AM or ML) is most accurate on the query's
+  k nearest measured neighbours.
+* :class:`HyBoost` — residual boosting: ML learns the AM's error and
+  corrects its predictions (assumes a reasonably accurate AM).
+* :class:`Probing` — region gating: use the AM where it has proven
+  accurate (within ``tolerance`` on nearby measurements), the ML model
+  elsewhere.
+
+All three expose ``fit(configs, values)`` / ``predict(configs)`` and are
+drop-in surrogates for the tuning loop; each takes the workflow's
+low-fidelity (ACM-combined) model as its analytical part.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config.encoding import ConfigEncoder
+from repro.core.low_fidelity import LowFidelityModel
+from repro.core.surrogate import SurrogateModel
+from repro.ml.neighbors import KNeighborsRegressor
+
+__all__ = ["KnnModelSelector", "HyBoost", "Probing"]
+
+
+@dataclass
+class KnnModelSelector:
+    """Pick AM or ML per query by local (k-NN) validation error.
+
+    Didona's KNN ensemble: measured samples are split into train and
+    validation; candidate models are compared on each query's nearest
+    validation neighbours, and the locally-best model answers.
+    """
+
+    analytical: LowFidelityModel
+    ml: SurrogateModel
+    encoder: ConfigEncoder
+    k: int = 3
+    validation_fraction: float = 0.4
+    seed: int = 0
+
+    _val_configs: list = field(init=False, repr=False, default_factory=list)
+    _val_values: np.ndarray = field(init=False, repr=False, default=None)
+    _knn: KNeighborsRegressor = field(init=False, repr=False, default=None)
+
+    def fit(self, configs, values) -> "KnnModelSelector":
+        configs = [tuple(c) for c in configs]
+        values = np.asarray(values, dtype=np.float64)
+        if len(configs) < 4:
+            raise ValueError("KNN selector needs at least 4 samples")
+        rng = np.random.default_rng(self.seed)
+        perm = rng.permutation(len(configs))
+        n_val = max(2, int(round(self.validation_fraction * len(configs))))
+        val_idx, train_idx = perm[:n_val], perm[n_val:]
+        if train_idx.size < 2:
+            raise ValueError("too few training samples after the split")
+        self.ml.fit([configs[i] for i in train_idx], values[train_idx])
+        self._val_configs = [configs[i] for i in val_idx]
+        self._val_values = values[val_idx]
+        self._knn = KNeighborsRegressor(k=min(self.k, n_val))
+        self._knn.fit(self.encoder.encode(self._val_configs), self._val_values)
+        return self
+
+    def predict(self, configs) -> np.ndarray:
+        if self._knn is None:
+            raise RuntimeError("ensemble is not fitted")
+        configs = [tuple(c) for c in configs]
+        if not configs:
+            return np.empty(0)
+        am_val = self.analytical.predict(self._val_configs)
+        ml_val = self.ml.predict(self._val_configs)
+        am_err = np.abs(am_val - self._val_values) / self._val_values
+        ml_err = np.abs(ml_val - self._val_values) / self._val_values
+        _, neighbor_idx = self._knn.kneighbors(self.encoder.encode(configs))
+        use_am = am_err[neighbor_idx].mean(axis=1) <= ml_err[neighbor_idx].mean(
+            axis=1
+        )
+        out = np.where(
+            use_am, self.analytical.predict(configs), self.ml.predict(configs)
+        )
+        return out
+
+
+@dataclass
+class HyBoost:
+    """Residual boosting: ML corrects the analytical model's error.
+
+    Predicts ``AM(c) * corrector(c)`` with a multiplicative corrector
+    (performance errors are relative); the corrector is the workflow
+    surrogate trained on ``measured / AM`` ratios.
+    """
+
+    analytical: LowFidelityModel
+    ml: SurrogateModel
+
+    _fitted: bool = field(init=False, default=False)
+
+    def fit(self, configs, values) -> "HyBoost":
+        configs = [tuple(c) for c in configs]
+        values = np.asarray(values, dtype=np.float64)
+        am = self.analytical.predict(configs)
+        if np.any(am <= 0):
+            raise ValueError("analytical predictions must be positive")
+        self.ml.fit(configs, values / am)
+        self._fitted = True
+        return self
+
+    def predict(self, configs) -> np.ndarray:
+        if not self._fitted:
+            raise RuntimeError("ensemble is not fitted")
+        configs = [tuple(c) for c in configs]
+        if not configs:
+            return np.empty(0)
+        return self.analytical.predict(configs) * self.ml.predict(configs)
+
+
+@dataclass
+class Probing:
+    """Region gating: trust the AM where probes confirmed it.
+
+    Each measured configuration is a probe of the AM's local accuracy;
+    a query uses the AM when its nearest probes' relative AM error is
+    within ``tolerance``, the ML model otherwise.
+    """
+
+    analytical: LowFidelityModel
+    ml: SurrogateModel
+    encoder: ConfigEncoder
+    tolerance: float = 0.15
+    k: int = 3
+
+    _knn: KNeighborsRegressor = field(init=False, repr=False, default=None)
+    _probe_errors: np.ndarray = field(init=False, repr=False, default=None)
+
+    def fit(self, configs, values) -> "Probing":
+        configs = [tuple(c) for c in configs]
+        values = np.asarray(values, dtype=np.float64)
+        if len(configs) < 2:
+            raise ValueError("Probing needs at least 2 samples")
+        self.ml.fit(configs, values)
+        am = self.analytical.predict(configs)
+        self._probe_errors = np.abs(am - values) / values
+        self._knn = KNeighborsRegressor(k=min(self.k, len(configs)))
+        self._knn.fit(self.encoder.encode(configs), self._probe_errors)
+        return self
+
+    def predict(self, configs) -> np.ndarray:
+        if self._knn is None:
+            raise RuntimeError("ensemble is not fitted")
+        configs = [tuple(c) for c in configs]
+        if not configs:
+            return np.empty(0)
+        local_error = self._knn.predict(self.encoder.encode(configs))
+        use_am = local_error <= self.tolerance
+        return np.where(
+            use_am, self.analytical.predict(configs), self.ml.predict(configs)
+        )

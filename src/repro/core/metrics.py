@@ -1,0 +1,88 @@
+"""Evaluation metrics of §7.2: recall score, MdAPE wrappers, practicality.
+
+These operate on a *test set* of configurations with known measured
+values (the pre-measured pool) and a model's scores for the same
+configurations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.metrics import mdape, top_n_indices, top_n_overlap
+
+__all__ = [
+    "recall_score",
+    "recall_curve",
+    "mdape_on_top_fraction",
+    "least_number_of_uses",
+]
+
+
+def recall_score(
+    model_scores: np.ndarray, measured_values: np.ndarray, n: int
+) -> float:
+    """Recall score ``S_r(n)`` of Eqn. 3, in percent.
+
+    The fraction of the model's top-``n`` configurations that are also in
+    the measured top ``n``.  Lower scores are better configurations
+    (both objectives are minimised).
+    """
+    return (
+        top_n_overlap(model_scores, measured_values, n, minimize=True) * 100.0
+    )
+
+
+def recall_curve(
+    model_scores: np.ndarray, measured_values: np.ndarray, max_n: int
+) -> np.ndarray:
+    """``[S_r(1), ..., S_r(max_n)]`` — the curves of Figs. 4, 7 and 11."""
+    if max_n < 1:
+        raise ValueError("max_n must be >= 1")
+    return np.array(
+        [recall_score(model_scores, measured_values, n) for n in range(1, max_n + 1)]
+    )
+
+
+def mdape_on_top_fraction(
+    model_scores: np.ndarray,
+    measured_values: np.ndarray,
+    top_fraction: float | None = None,
+) -> float:
+    """MdAPE (%) over all configs, or over the measured top fraction.
+
+    ``top_fraction=0.02`` reproduces the paper's "Top 2 %" bars (Fig. 6);
+    ``None`` gives the "All" bars.
+    """
+    model_scores = np.asarray(model_scores, dtype=np.float64)
+    measured_values = np.asarray(measured_values, dtype=np.float64)
+    if model_scores.shape != measured_values.shape:
+        raise ValueError("score and value vectors must align")
+    if top_fraction is None:
+        return mdape(measured_values, model_scores)
+    if not 0 < top_fraction <= 1:
+        raise ValueError("top_fraction must be in (0, 1]")
+    n = max(1, int(round(top_fraction * measured_values.size)))
+    idx = top_n_indices(measured_values, n, minimize=True)
+    return mdape(measured_values[idx], model_scores[idx])
+
+
+def least_number_of_uses(
+    collection_cost: float,
+    tuned_value: float,
+    expert_value: float,
+) -> float:
+    """Practicality metric ``N = c / Δp`` of §7.2.3.
+
+    ``collection_cost`` is the summed objective value of all training
+    samples; ``Δp = expert_value − tuned_value`` is the per-run
+    improvement over the expert recommendation.  Returns ``inf`` when the
+    tuner failed to beat the expert (the auto-tuning cost is never
+    recouped).
+    """
+    if collection_cost < 0:
+        raise ValueError("collection_cost must be non-negative")
+    improvement = expert_value - tuned_value
+    if improvement <= 0:
+        return float("inf")
+    return collection_cost / improvement

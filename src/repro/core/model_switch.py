@@ -1,0 +1,107 @@
+"""Model-switch detection (paper §5, Alg. 1 lines 16–24).
+
+Each iteration's freshly measured batch is a small held-out comparison
+set: both the low-fidelity model ``M_L`` and the high-fidelity model
+``M_H`` ranked those configurations *before* they were measured.  The
+detector sums their top-1/2/3 recall scores on the batch (summed "to
+increase stability") and switches the selection model to ``M_H`` once
+``S_H ≥ S_L``.
+
+It also implements the bias guard of Alg. 1 line 20: if ``M_H``'s three
+best-rated measured configurations are not all within the
+better-performing half of everything measured so far, the low-fidelity
+model may be biased away from the true optimum, and extra random samples
+are injected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.metrics import recall_score
+from repro.ml.metrics import top_n_indices
+
+__all__ = ["SwitchDecision", "ModelSwitchDetector"]
+
+
+@dataclass(frozen=True)
+class SwitchDecision:
+    """Outcome of one detection round."""
+
+    s_high: float
+    s_low: float
+    switch: bool
+    inject_random: bool
+
+
+class ModelSwitchDetector:
+    """Stateful detector; call :meth:`evaluate` once per iteration."""
+
+    def __init__(self) -> None:
+        self.switched = False
+
+    def evaluate(
+        self,
+        batch_low_scores: np.ndarray,
+        batch_high_scores: np.ndarray | None,
+        batch_values: np.ndarray,
+        all_high_scores: np.ndarray | None,
+        all_values: np.ndarray,
+    ) -> SwitchDecision:
+        """Score both models on the fresh batch and decide.
+
+        Parameters
+        ----------
+        batch_low_scores, batch_high_scores:
+            Model scores of the just-measured batch (``None`` for an
+            untrained high-fidelity model — no switch is possible yet).
+        batch_values:
+            Measured values of the batch.
+        all_high_scores, all_values:
+            High-fidelity scores and measured values of *everything*
+            measured so far (drives the bias guard).
+        """
+        if self.switched:
+            raise RuntimeError("detector already switched; stop calling evaluate")
+        batch_values = np.asarray(batch_values, dtype=np.float64)
+        if batch_high_scores is None:
+            return SwitchDecision(
+                s_high=float("-inf"), s_low=self._recall_sum(
+                    batch_low_scores, batch_values
+                ), switch=False, inject_random=False,
+            )
+        s_high = self._recall_sum(batch_high_scores, batch_values)
+        s_low = self._recall_sum(batch_low_scores, batch_values)
+        inject = self._biased(all_high_scores, all_values)
+        # Alg. 1 line 23 switches on S_H >= S_L; with small batches both
+        # sums are frequently zero, which would hand ranking to a
+        # high-fidelity model that has demonstrated nothing, so we
+        # additionally require a strictly positive S_H.
+        switch = s_high >= s_low and s_high > 0.0
+        if switch:
+            self.switched = True
+        return SwitchDecision(
+            s_high=s_high, s_low=s_low, switch=switch, inject_random=inject
+        )
+
+    @staticmethod
+    def _recall_sum(scores: np.ndarray, values: np.ndarray) -> float:
+        """``Σ_{n=1..3} S_r(n)`` over the batch (Alg. 1 lines 18–19)."""
+        return sum(recall_score(scores, values, n) for n in (1, 2, 3))
+
+    @staticmethod
+    def _biased(
+        all_high_scores: np.ndarray | None, all_values: np.ndarray
+    ) -> bool:
+        """Alg. 1 line 20: is M_H's measured top-3 outside the top half?"""
+        if all_high_scores is None:
+            return False
+        all_high_scores = np.asarray(all_high_scores, dtype=np.float64)
+        all_values = np.asarray(all_values, dtype=np.float64)
+        if all_values.size < 6:
+            return False
+        top3 = set(top_n_indices(all_high_scores, 3).tolist())
+        half = set(top_n_indices(all_values, all_values.size // 2).tolist())
+        return not top3 <= half

@@ -1,0 +1,172 @@
+"""Tuning problems and results: the shared contract of all algorithms.
+
+A :class:`TuningProblem` bundles the workflow, the objective, the
+candidate pool, a budgeted :class:`~repro.core.collector.Collector`, the
+feature encoder, and a seeded random generator.  Every algorithm
+consumes a problem and returns an :class:`AutotuneResult` whose model
+drives the searcher (rank the pool, recommend the predicted best).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config.space import Configuration
+from repro.core.collector import Collector
+from repro.core.objectives import Objective
+from repro.core.surrogate import SurrogateModel, default_surrogate
+from repro.insitu.measurement import stable_seed
+from repro.insitu.workflow import WorkflowDefinition
+from repro.workflows.pools import ComponentHistory, MeasuredPool
+
+__all__ = ["TuningProblem", "AutotuneResult"]
+
+
+@dataclass
+class TuningProblem:
+    """One auto-tuning task: find a good configuration under budget ``m``."""
+
+    workflow: WorkflowDefinition
+    objective: Objective
+    pool: MeasuredPool
+    collector: Collector
+    rng: np.random.Generator
+    seed: int
+
+    @classmethod
+    def create(
+        cls,
+        workflow: WorkflowDefinition,
+        objective: Objective,
+        pool: MeasuredPool,
+        budget_runs: int,
+        seed: int = 0,
+        histories: dict[str, ComponentHistory] | None = None,
+        failure_rate: float = 0.0,
+    ) -> "TuningProblem":
+        """Assemble a problem with a fresh budgeted collector."""
+        if budget_runs < 2:
+            raise ValueError("budget_runs must be at least 2")
+        collector = Collector(
+            pool=pool,
+            objective=objective,
+            histories=dict(histories or {}),
+            budget_runs=budget_runs,
+            failure_rate=failure_rate,
+            failure_seed=stable_seed("failures", workflow.name, seed),
+        )
+        rng = np.random.default_rng(
+            stable_seed("tuning", workflow.name, objective.name, seed)
+        )
+        return cls(
+            workflow=workflow,
+            objective=objective,
+            pool=pool,
+            collector=collector,
+            rng=rng,
+            seed=seed,
+        )
+
+    @property
+    def pool_configs(self) -> tuple[Configuration, ...]:
+        """The candidate set ``C_pool``."""
+        return self.pool.configs
+
+    @property
+    def budget(self) -> int:
+        """The run budget ``m``."""
+        return self.collector.budget_runs
+
+    def make_surrogate(self, extra_features=None, salt: int = 0) -> SurrogateModel:
+        """A fresh reference surrogate, deterministically seeded."""
+        return default_surrogate(
+            self.workflow.encoder(),
+            random_state=stable_seed("surrogate", self.seed, salt) % (2**31),
+            extra_features=extra_features,
+        )
+
+    def sample_unmeasured(
+        self, candidates: Sequence[Configuration], n: int
+    ) -> list[Configuration]:
+        """Draw ``n`` distinct random configurations from ``candidates``."""
+        if n > len(candidates):
+            raise ValueError(
+                f"cannot draw {n} configurations from {len(candidates)} candidates"
+            )
+        idx = self.rng.choice(len(candidates), size=n, replace=False)
+        return [candidates[i] for i in sorted(idx)]
+
+
+@dataclass
+class AutotuneResult:
+    """What an algorithm hands back to the searcher and the evaluation.
+
+    Attributes
+    ----------
+    algorithm:
+        Algorithm name ("CEAL", "RS", ...).
+    model:
+        Final surrogate — anything with ``predict(configs) -> np.ndarray``
+        scoring lower-is-better in objective units.
+    measured:
+        ``{config: measured value}`` of all paid workflow runs.
+    runs_used, cost_execution_seconds, cost_core_hours:
+        Budget and cost accounting copied from the collector.
+    trace:
+        Per-iteration diagnostics (model switches, batch recalls, ...).
+    """
+
+    algorithm: str
+    workflow_name: str
+    objective: Objective
+    model: object
+    measured: dict
+    runs_used: int
+    cost_execution_seconds: float
+    cost_core_hours: float
+    trace: list = field(default_factory=list)
+
+    def predict_pool(self, pool: MeasuredPool) -> np.ndarray:
+        """Model scores over a pool (the test set)."""
+        return np.asarray(self.model.predict(list(pool.configs)), dtype=np.float64)
+
+    def best_config(self, pool: MeasuredPool) -> Configuration:
+        """The searcher's recommendation: predicted-best pool configuration."""
+        scores = self.predict_pool(pool)
+        return pool.configs[int(np.argmin(scores))]
+
+    def best_actual_value(self, pool: MeasuredPool) -> float:
+        """Measured value of the recommendation (§7.2.1's metric)."""
+        best = self.best_config(pool)
+        return pool.lookup(best).objective(self.objective.name)
+
+    def cost(self) -> float:
+        """Data-collection cost ``c`` in the objective's units."""
+        if self.objective.name == "execution_time":
+            return self.cost_execution_seconds
+        return self.cost_core_hours
+
+    @classmethod
+    def from_collector(
+        cls,
+        algorithm: str,
+        problem: TuningProblem,
+        model,
+        trace: list | None = None,
+    ) -> "AutotuneResult":
+        """Snapshot collector accounting into a result."""
+        collector = problem.collector
+        return cls(
+            algorithm=algorithm,
+            workflow_name=problem.workflow.name,
+            objective=problem.objective,
+            model=model,
+            measured=collector.measured,
+            runs_used=collector.runs_used,
+            cost_execution_seconds=collector.cost_execution_seconds,
+            cost_core_hours=collector.cost_core_hours,
+            trace=trace or [],
+        )

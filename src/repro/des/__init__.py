@@ -1,0 +1,33 @@
+"""A compact discrete-event simulation (DES) engine.
+
+``repro.insitu`` executes coupled workflows on this engine: component
+applications are simulation processes that alternate computing (timeouts)
+with staged data exchange (bounded stores), which reproduces the
+synchronisation stalls and pipelining of real in-situ runs.
+
+The engine follows the classic event-queue design (cf. SimPy):
+
+* :class:`~repro.des.engine.Environment` owns virtual time and the event
+  heap,
+* :class:`~repro.des.engine.Event` is a one-shot occurrence with callbacks,
+* :class:`~repro.des.process.Process` wraps a generator that yields events
+  to wait on, and
+* :class:`~repro.des.resources.Store` is a bounded FIFO buffer whose
+  ``put`` blocks when full and ``get`` blocks when empty — exactly the
+  behaviour of a staging transport's bounded buffer.
+"""
+
+from repro.des.engine import AllOf, Environment, Event, Interrupt, Timeout
+from repro.des.process import Process
+from repro.des.resources import Resource, Store
+
+__all__ = [
+    "AllOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "Resource",
+    "Store",
+    "Timeout",
+]

@@ -1,0 +1,243 @@
+"""Event heap and primitive events.
+
+The engine is deterministic: events scheduled for the same instant are
+processed in scheduling order (a monotone sequence number breaks ties),
+so simulated workflows are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable, Iterable
+from typing import Any
+
+__all__ = ["Environment", "Event", "Timeout", "AllOf", "Interrupt", "EmptySchedule"]
+
+
+class EmptySchedule(Exception):
+    """Raised by :meth:`Environment.step` when no events remain."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that is interrupted while waiting.
+
+    Attributes
+    ----------
+    cause:
+        Arbitrary object describing why the interrupt happened.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    Life cycle: *pending* → *triggered* (scheduled on the heap with a
+    value or an exception) → *processed* (callbacks ran).  Callbacks are
+    ``f(event)`` callables; processes register their resume hooks here.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered", "_processed")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._triggered = False
+        self._processed = False
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled with a result."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True when the event carries a value rather than an exception."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's result (or exception); valid once triggered."""
+        if not self._triggered:
+            raise RuntimeError("event value read before trigger")
+        return self._value
+
+    # -- triggering ------------------------------------------------------------
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Schedule the event to fire now, carrying ``value``."""
+        if self._triggered:
+            raise RuntimeError("event already triggered")
+        self._value = value
+        self._ok = True
+        self._triggered = True
+        self.env._enqueue(self, delay=0.0)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Schedule the event to fire now, carrying ``exception``."""
+        if self._triggered:
+            raise RuntimeError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._value = exception
+        self._ok = False
+        self._triggered = True
+        self.env._enqueue(self, delay=0.0)
+        return self
+
+    def _process(self) -> None:
+        """Run callbacks; called by the environment."""
+        self._processed = True
+        callbacks, self.callbacks = self.callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+
+class Timeout(Event):
+    """An event that fires after a fixed delay of simulated time."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._value = value
+        self._ok = True
+        self._triggered = True
+        env._enqueue(self, delay=delay)
+
+
+class AllOf(Event):
+    """Fires once every member event has fired.
+
+    The value is the list of member values in construction order.  If any
+    member fails, the :class:`AllOf` fails with that member's exception
+    (first failure wins).
+    """
+
+    __slots__ = ("_events", "_remaining")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._events = list(events)
+        self._remaining = 0
+        for event in self._events:
+            if event.processed:
+                if not event.ok:
+                    self.fail(event.value)
+                    return
+                continue
+            self._remaining += 1
+            event.callbacks.append(self._on_member)
+        if self._remaining == 0 and not self._triggered:
+            self.succeed([e.value for e in self._events])
+
+    def _on_member(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([e.value for e in self._events])
+
+
+class Environment:
+    """Owns simulated time and the event heap."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    # -- event construction -----------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a pending event owned by this environment."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Create an event that fires when all ``events`` have fired."""
+        return AllOf(self, events)
+
+    def process(self, generator) -> "Process":
+        """Start a simulation process from a generator."""
+        from repro.des.process import Process
+
+        return Process(self, generator)
+
+    # -- scheduling --------------------------------------------------------------
+
+    def _enqueue(self, event: Event, delay: float) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next event, or ``inf`` when the heap is empty."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event."""
+        if not self._heap:
+            raise EmptySchedule("no scheduled events")
+        time, _, event = heapq.heappop(self._heap)
+        self._now = time
+        event._process()
+
+    def run(self, until: float | Event | None = None) -> Any:
+        """Run until the heap drains, a deadline passes, or an event fires.
+
+        Parameters
+        ----------
+        until:
+            ``None`` — run to exhaustion; a float — advance virtual time to
+            that instant (events at exactly ``until`` are processed); an
+            :class:`Event` — run until it has been processed, returning its
+            value (re-raising its exception if it failed).
+        """
+        if isinstance(until, Event):
+            target = until
+            while not target.processed:
+                if not self._heap:
+                    raise RuntimeError(
+                        "event heap drained before the awaited event fired "
+                        "(deadlock in the simulated workflow?)"
+                    )
+                self.step()
+            if not target.ok:
+                raise target.value
+            return target.value
+
+        deadline = float("inf") if until is None else float(until)
+        if deadline < self._now:
+            raise ValueError(f"until={deadline} lies in the past (now={self._now})")
+        while self._heap and self._heap[0][0] <= deadline:
+            self.step()
+        if deadline != float("inf"):
+            self._now = deadline
+        return None

@@ -1,0 +1,111 @@
+"""Generator-backed simulation processes.
+
+A process body is a generator that ``yield``\\ s events; the process
+sleeps until each yielded event fires and is resumed with the event's
+value (or has the event's exception thrown into it).  The process itself
+is an :class:`~repro.des.engine.Event` that fires when the generator
+returns, carrying the generator's return value.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.des.engine import Environment, Event, Interrupt
+
+__all__ = ["Process"]
+
+
+class Process(Event):
+    """A running simulation process."""
+
+    __slots__ = ("_generator", "_waiting_on")
+
+    def __init__(self, env: Environment, generator):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(
+                f"Process requires a generator, got {type(generator).__name__}"
+            )
+        super().__init__(env)
+        self._generator = generator
+        self._waiting_on: Event | None = None
+        # Kick off on the next scheduling round so construction order does
+        # not leak into event order at time 0.
+        bootstrap = env.timeout(0.0)
+        bootstrap.callbacks.append(self._resume)
+        self._waiting_on = bootstrap
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`~repro.des.engine.Interrupt` into the process.
+
+        The process must currently be waiting on an event; the interrupt
+        supersedes that wait (the awaited event may still fire later but
+        will no longer resume this process).
+        """
+        if not self.is_alive:
+            raise RuntimeError("cannot interrupt a finished process")
+        waited = self._waiting_on
+        if waited is not None:
+            try:
+                waited.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._waiting_on = None
+        # Deliver asynchronously via a fresh immediate event.
+        kick = self.env.event()
+        kick.callbacks.append(lambda _ev: self._throw(Interrupt(cause)))
+        kick.succeed()
+
+    # -- internal ----------------------------------------------------------------
+
+    def _resume(self, event: Event) -> None:
+        if self._triggered:
+            return
+        self._waiting_on = None
+        if event.ok:
+            self._advance(lambda: self._generator.send(event.value))
+        else:
+            self._throw(event.value)
+
+    def _throw(self, exception: BaseException) -> None:
+        self._advance(lambda: self._generator.throw(exception))
+
+    def _advance(self, step) -> None:
+        try:
+            target = step()
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupt:
+            # An unhandled interrupt terminates the process quietly; the
+            # interrupt's cause becomes the process value.
+            self.succeed(None)
+            return
+        except BaseException as exc:  # propagate real errors to waiters
+            if not self.callbacks:
+                raise
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            self._throw(
+                TypeError(
+                    f"process yielded {target!r}; processes must yield events"
+                )
+            )
+            return
+        if target.env is not self.env:
+            self._throw(RuntimeError("yielded an event from another environment"))
+            return
+        if target.processed:
+            # Already done: resume immediately (on the next heap round).
+            kick = self.env.timeout(0.0)
+            kick.callbacks.append(lambda _ev: self._resume(target))
+            self._waiting_on = kick
+        else:
+            target.callbacks.append(self._resume)
+            self._waiting_on = target

@@ -1,0 +1,133 @@
+"""Blocking resources: bounded FIFO stores and counted resources.
+
+:class:`Store` models a staging transport's bounded buffer: producers
+block in ``put`` when the buffer is full (back-pressure into the
+simulation — the paper's "synchronization" effect) and consumers block in
+``get`` when it is empty (analysis idling — Fig. 2b).
+
+:class:`Resource` is a counted semaphore used for shared channels (e.g.
+a node's NIC serving several streams).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.des.engine import Environment, Event
+
+__all__ = ["Store", "Resource"]
+
+
+class StorePut(Event):
+    """Pending ``put`` request; fires when the item enters the buffer."""
+
+    __slots__ = ("item",)
+
+    def __init__(self, env: Environment, item: Any):
+        super().__init__(env)
+        self.item = item
+
+
+class StoreGet(Event):
+    """Pending ``get`` request; fires with the retrieved item."""
+
+    __slots__ = ()
+
+
+class Store:
+    """Bounded FIFO buffer with blocking put/get.
+
+    Parameters
+    ----------
+    env:
+        Owning environment.
+    capacity:
+        Maximum number of buffered items; ``float('inf')`` for unbounded.
+    """
+
+    def __init__(self, env: Environment, capacity: float = float("inf")):
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.env = env
+        self.capacity = capacity
+        self.items: deque = deque()
+        self._put_waiters: deque[StorePut] = deque()
+        self._get_waiters: deque[StoreGet] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self.items) >= self.capacity
+
+    def put(self, item: Any) -> StorePut:
+        """Request insertion of ``item``; the event fires once it fits."""
+        request = StorePut(self.env, item)
+        self._put_waiters.append(request)
+        self._drain()
+        return request
+
+    def get(self) -> StoreGet:
+        """Request retrieval; the event fires with the oldest item."""
+        request = StoreGet(self.env)
+        self._get_waiters.append(request)
+        self._drain()
+        return request
+
+    def _drain(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._put_waiters and not self.is_full:
+                request = self._put_waiters.popleft()
+                self.items.append(request.item)
+                request.succeed()
+                progressed = True
+            if self._get_waiters and self.items:
+                request = self._get_waiters.popleft()
+                request.succeed(self.items.popleft())
+                progressed = True
+
+
+class Resource:
+    """Counted resource with FIFO queuing.
+
+    ``request()`` returns an event that fires when a unit is granted;
+    ``release()`` returns the unit.  Users are responsible for pairing
+    requests with releases (the in-situ transport does so in
+    ``try/finally`` style within its processes).
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.env = env
+        self.capacity = capacity
+        self.in_use = 0
+        self._waiters: deque[Event] = deque()
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self.in_use
+
+    def request(self) -> Event:
+        """Request a unit; the returned event fires when granted."""
+        event = Event(self.env)
+        self._waiters.append(event)
+        self._grant()
+        return event
+
+    def release(self) -> None:
+        """Return one granted unit."""
+        if self.in_use <= 0:
+            raise RuntimeError("release without matching request")
+        self.in_use -= 1
+        self._grant()
+
+    def _grant(self) -> None:
+        while self._waiters and self.in_use < self.capacity:
+            event = self._waiters.popleft()
+            self.in_use += 1
+            event.succeed()

@@ -1,0 +1,66 @@
+"""Experiment drivers regenerating the paper's tables and figures.
+
+* :mod:`~repro.experiments.runner` — repeated-trial execution of tuning
+  algorithms against shared measured pools, with per-trial metrics.
+* :mod:`~repro.experiments.figures` — one driver per paper figure
+  (Figs. 4–12), each returning structured rows.
+* :mod:`~repro.experiments.sensitivity` — the Fig. 13 hyper-parameter
+  sweeps.
+* :mod:`~repro.experiments.tables` — Tables 1 and 2.
+* :mod:`~repro.experiments.reporting` — plain-text rendering.
+
+Every driver accepts a ``repeats`` count (the paper averages 100 runs
+per algorithm; benches default lower to bound runtime) and a base seed.
+"""
+
+from repro.experiments.figures import (
+    FigureResult,
+    fig04_lowfid_recall,
+    fig05_best_config,
+    fig06_mdape,
+    fig07_recall,
+    fig08_practicality,
+    fig09_history_effect,
+    fig10_ceal_vs_alph,
+    fig11_alph_recall,
+    fig12_alph_practicality,
+)
+from repro.experiments.headline import headline_claims
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import (
+    AlgorithmSpec,
+    TrialMetrics,
+    default_algorithms,
+    run_trials,
+    summarize,
+)
+from repro.experiments.sensitivity import fig13_sensitivity, sweep_ceal
+from repro.experiments.tables import table1_parameter_spaces, table2_best_vs_expert
+from repro.experiments.viz import render_bars, render_figure, render_series
+
+__all__ = [
+    "AlgorithmSpec",
+    "FigureResult",
+    "TrialMetrics",
+    "default_algorithms",
+    "fig04_lowfid_recall",
+    "fig05_best_config",
+    "fig06_mdape",
+    "fig07_recall",
+    "fig08_practicality",
+    "fig09_history_effect",
+    "fig10_ceal_vs_alph",
+    "fig11_alph_recall",
+    "fig12_alph_practicality",
+    "fig13_sensitivity",
+    "format_table",
+    "headline_claims",
+    "render_bars",
+    "render_figure",
+    "render_series",
+    "run_trials",
+    "summarize",
+    "sweep_ceal",
+    "table1_parameter_spaces",
+    "table2_best_vs_expert",
+]

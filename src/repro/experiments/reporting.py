@@ -1,0 +1,41 @@
+"""Plain-text rendering of experiment results."""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+__all__ = ["format_table", "format_float"]
+
+
+def format_float(value, digits: int = 3) -> str:
+    """Compact float formatting for report cells."""
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == float("inf"):
+            return "inf"
+        return f"{value:.{digits}g}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping], columns: Sequence[str] | None = None, digits: int = 4
+) -> str:
+    """Render a list of dict rows as an aligned text table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    cells = [[format_float(r.get(c), digits) for c in columns] for r in rows]
+    widths = [
+        max(len(str(c)), *(len(row[i]) for row in cells))
+        for i, c in enumerate(columns)
+    ]
+    header = "  ".join(str(c).ljust(w) for c, w in zip(columns, widths))
+    rule = "  ".join("-" * w for w in widths)
+    body = "\n".join(
+        "  ".join(cell.ljust(w) for cell, w in zip(row, widths)) for row in cells
+    )
+    return f"{header}\n{rule}\n{body}"

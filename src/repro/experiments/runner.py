@@ -1,0 +1,180 @@
+"""Repeated-trial execution of tuning algorithms (the §7 protocol).
+
+One *trial* = one algorithm tuning one workflow/objective with budget
+``m`` and a fresh seed, against the shared pre-measured pool.  The paper
+averages 100 trials per configuration; ``repeats`` controls that here.
+
+Trial metrics cover every evaluation of §7.2: actual performance of the
+predicted best configuration (normalised by the pool optimum), recall
+curves, MdAPE over all and the top 2 % of the test set, and the
+data-collection cost feeding the practicality metric.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.algorithms import ActiveLearning, Geist, RandomSampling
+from repro.core.ceal import Ceal, CealSettings
+from repro.core.metrics import mdape_on_top_fraction, recall_curve
+from repro.core.objectives import Objective, get_objective
+from repro.core.problem import TuningProblem
+from repro.insitu.workflow import WorkflowDefinition
+from repro.workflows.catalog import make_workflow
+from repro.workflows.pools import generate_component_history, generate_pool
+
+__all__ = [
+    "AlgorithmSpec",
+    "TrialMetrics",
+    "default_algorithms",
+    "run_trials",
+    "summarize",
+]
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """A named algorithm factory (fresh instance per trial)."""
+
+    name: str
+    factory: Callable[[], object]
+    needs_history: bool = False
+
+
+def default_algorithms(with_history: bool = False) -> tuple[AlgorithmSpec, ...]:
+    """The §7.4 comparison set: RS, GEIST, AL, CEAL."""
+    return (
+        AlgorithmSpec("RS", RandomSampling),
+        AlgorithmSpec("GEIST", Geist),
+        AlgorithmSpec("AL", ActiveLearning),
+        AlgorithmSpec(
+            "CEAL",
+            lambda: Ceal(CealSettings(use_history=with_history)),
+            needs_history=with_history,
+        ),
+    )
+
+
+@dataclass
+class TrialMetrics:
+    """Metrics of one tuning trial."""
+
+    algorithm: str
+    workflow: str
+    objective: str
+    budget: int
+    seed: int
+    best_value: float
+    normalized: float
+    recall: np.ndarray
+    mdape_all: float
+    mdape_top2: float
+    cost: float
+    runs_used: int
+    trace: list = field(default_factory=list)
+
+
+def run_trials(
+    workflow: WorkflowDefinition | str,
+    objective: Objective | str,
+    algorithms: Sequence[AlgorithmSpec],
+    budget: int,
+    repeats: int = 20,
+    pool_size: int = 2000,
+    pool_seed: int = 2021,
+    noise_sigma: float = 0.05,
+    history_size: int = 500,
+    with_history: bool = True,
+    recall_max_n: int = 10,
+    failure_rate: float = 0.0,
+) -> list[TrialMetrics]:
+    """Run every algorithm ``repeats`` times and collect trial metrics.
+
+    Histories are always generated and attached (they are the §7.1
+    component measurement sets the collector draws *paid* component runs
+    from).  Whether an algorithm may read them for free is the
+    algorithm's own ``use_history`` setting; the ``with_history``
+    argument here only selects which algorithm defaults the caller
+    intends and is kept for the figure drivers' readability.
+    """
+    if isinstance(workflow, str):
+        workflow = make_workflow(workflow)
+    objective = (
+        get_objective(objective) if isinstance(objective, str) else objective
+    )
+    pool = generate_pool(workflow, pool_size, seed=pool_seed, noise_sigma=noise_sigma)
+    truth = pool.objective_values(objective.name)
+    pool_best = float(truth.min())
+
+    histories = {}
+    for label in workflow.labels:
+        if workflow.app(label).space.size() > 1:
+            histories[label] = generate_component_history(
+                workflow, label, size=history_size, seed=pool_seed,
+                noise_sigma=noise_sigma,
+            )
+
+    out: list[TrialMetrics] = []
+    for spec in algorithms:
+        for rep in range(repeats):
+            seed = pool_seed * 1_000_003 + rep
+            problem = TuningProblem.create(
+                workflow=workflow,
+                objective=objective,
+                pool=pool,
+                budget_runs=budget,
+                seed=seed + hash_name(spec.name),
+                histories=histories,
+                failure_rate=failure_rate,
+            )
+            algorithm = spec.factory()
+            result = algorithm.tune(problem)
+            scores = result.predict_pool(pool)
+            best_value = result.best_actual_value(pool)
+            out.append(
+                TrialMetrics(
+                    algorithm=spec.name,
+                    workflow=workflow.name,
+                    objective=objective.name,
+                    budget=budget,
+                    seed=rep,
+                    best_value=best_value,
+                    normalized=best_value / pool_best,
+                    recall=recall_curve(scores, truth, recall_max_n),
+                    mdape_all=mdape_on_top_fraction(scores, truth, None),
+                    mdape_top2=mdape_on_top_fraction(scores, truth, 0.02),
+                    cost=result.cost(),
+                    runs_used=result.runs_used,
+                    trace=result.trace,
+                )
+            )
+    return out
+
+
+def hash_name(name: str) -> int:
+    """Stable small offset so algorithms draw distinct random streams."""
+    return sum(ord(ch) for ch in name)
+
+
+def summarize(trials: Sequence[TrialMetrics]) -> dict:
+    """Aggregate trials per algorithm: means of every §7.2 metric."""
+    by_algo: dict[str, list[TrialMetrics]] = {}
+    for t in trials:
+        by_algo.setdefault(t.algorithm, []).append(t)
+    out: dict = {}
+    for name, ts in by_algo.items():
+        out[name] = {
+            "normalized": float(np.mean([t.normalized for t in ts])),
+            "normalized_std": float(np.std([t.normalized for t in ts])),
+            "best_value": float(np.mean([t.best_value for t in ts])),
+            "recall": np.mean([t.recall for t in ts], axis=0),
+            "mdape_all": float(np.mean([t.mdape_all for t in ts])),
+            "mdape_top2": float(np.mean([t.mdape_top2 for t in ts])),
+            "cost": float(np.mean([t.cost for t in ts])),
+            "runs_used": float(np.mean([t.runs_used for t in ts])),
+            "repeats": len(ts),
+        }
+    return out

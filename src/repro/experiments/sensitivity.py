@@ -1,0 +1,117 @@
+"""Fig. 13 — CEAL hyper-parameter sensitivity sweeps.
+
+Reproduces the three panels: computer time of the best configuration
+predicted for LV with 50 training samples as (a) the iteration count
+``I``, (b) the random-sample share ``m_0/m``, and (c) the
+component-sample share ``m_R/m`` are varied — each with and without free
+historical measurements (panel (c) only applies without, since with
+histories ``m_R = 0``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.ceal import Ceal, CealSettings
+from repro.core.objectives import get_objective
+from repro.core.problem import TuningProblem
+from repro.experiments.figures import FigureResult
+from repro.workflows.catalog import make_workflow
+from repro.workflows.pools import generate_component_history, generate_pool
+
+__all__ = ["fig13_sensitivity", "sweep_ceal"]
+
+
+def sweep_ceal(
+    settings_list: list[tuple[str, CealSettings]],
+    workflow_name: str = "LV",
+    objective_name: str = "computer_time",
+    budget: int = 50,
+    repeats: int = 10,
+    pool_size: int = 1000,
+    seed: int = 2021,
+) -> list[dict]:
+    """Mean best-configuration value of CEAL across settings."""
+    workflow = make_workflow(workflow_name)
+    objective = get_objective(objective_name)
+    pool = generate_pool(workflow, pool_size, seed=seed)
+    histories = {
+        label: generate_component_history(workflow, label, seed=seed)
+        for label in workflow.labels
+        if workflow.app(label).space.size() > 1
+    }
+    rows = []
+    for name, settings in settings_list:
+        values = []
+        for rep in range(repeats):
+            problem = TuningProblem.create(
+                workflow=workflow,
+                objective=objective,
+                pool=pool,
+                budget_runs=budget,
+                seed=seed + 37 * rep,
+                histories=histories,
+            )
+            result = Ceal(settings).tune(problem)
+            values.append(result.best_actual_value(pool))
+        rows.append(
+            {
+                "setting": name,
+                "mean_value": float(np.mean(values)),
+                "std": float(np.std(values)),
+                "unit": objective.unit,
+            }
+        )
+    return rows
+
+
+def fig13_sensitivity(
+    repeats: int = 8,
+    pool_size: int = 1000,
+    seed: int = 2021,
+    iteration_grid: tuple = (1, 2, 4, 6, 8, 10),
+    m0_grid: tuple = (0.05, 0.10, 0.15, 0.25, 0.35),
+    mr_grid: tuple = (0.15, 0.30, 0.50, 0.65, 0.80),
+) -> FigureResult:
+    """The three Fig. 13 panels on LV computer time, 50 samples."""
+    result = FigureResult(
+        "Fig. 13", "CEAL hyper-parameter sensitivity (LV, computer time, m=50)"
+    )
+    # (a) iterations, with and without histories
+    for use_history in (False, True):
+        tag = "w/ hist" if use_history else "w/o hist"
+        sweeps = [
+            (
+                f"I={i} ({tag})",
+                CealSettings(use_history=use_history, iterations=i),
+            )
+            for i in iteration_grid
+        ]
+        for row in sweep_ceal(sweeps, repeats=repeats, pool_size=pool_size, seed=seed):
+            row["panel"] = "a:iterations"
+            result.rows.append(row)
+    # (b) random fraction m0/m
+    for use_history in (False, True):
+        tag = "w/ hist" if use_history else "w/o hist"
+        sweeps = [
+            (
+                f"m0={frac:.2f}m ({tag})",
+                CealSettings(use_history=use_history, random_fraction=frac),
+            )
+            for frac in m0_grid
+        ]
+        for row in sweep_ceal(sweeps, repeats=repeats, pool_size=pool_size, seed=seed):
+            row["panel"] = "b:random_fraction"
+            result.rows.append(row)
+    # (c) component fraction mR/m — only meaningful without histories
+    sweeps = [
+        (
+            f"mR={frac:.2f}m (w/o hist)",
+            CealSettings(use_history=False, component_runs_fraction=frac),
+        )
+        for frac in mr_grid
+    ]
+    for row in sweep_ceal(sweeps, repeats=repeats, pool_size=pool_size, seed=seed):
+        row["panel"] = "c:component_fraction"
+        result.rows.append(row)
+    return result

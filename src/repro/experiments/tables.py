@@ -1,0 +1,93 @@
+"""Tables 1 and 2 of the paper's evaluation.
+
+Table 1 enumerates the tunable parameter spaces; Table 2 contrasts each
+workflow's best pool configuration with the expert recommendation, per
+objective.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import FigureResult
+from repro.insitu.measurement import measure_workflow
+from repro.workflows.catalog import expert_config, make_workflow
+from repro.workflows.pools import generate_pool
+
+__all__ = ["table1_parameter_spaces", "table2_best_vs_expert"]
+
+
+def table1_parameter_spaces() -> FigureResult:
+    """Parameter spaces of the three target workflows (Table 1)."""
+    result = FigureResult("Table 1", "Parameter spaces for the three workflows")
+    for workflow_name in ("LV", "HS", "GP"):
+        workflow = make_workflow(workflow_name)
+        for label in workflow.labels:
+            app = workflow.app(label)
+            for parameter in app.space.parameters:
+                values = parameter.values
+                if len(values) > 4:
+                    options = f"{values[0]}, {values[1]}, ..., {values[-1]}"
+                else:
+                    options = ", ".join(str(v) for v in values)
+                result.rows.append(
+                    {
+                        "workflow": workflow_name,
+                        "application": label,
+                        "parameter": parameter.name,
+                        "options": options,
+                        "n_options": parameter.n_options,
+                    }
+                )
+        result.rows.append(
+            {
+                "workflow": workflow_name,
+                "application": "(joint)",
+                "parameter": "total configurations",
+                "options": f"{workflow.space.size():.1e}",
+                "n_options": workflow.space.size(),
+            }
+        )
+    return result
+
+
+def table2_best_vs_expert(
+    pool_size: int = 2000, seed: int = 2021
+) -> FigureResult:
+    """Best pool configuration vs expert recommendation (Table 2)."""
+    result = FigureResult(
+        "Table 2", "Configurations and performance of benchmarks"
+    )
+    for workflow_name in ("LV", "HS", "GP"):
+        workflow = make_workflow(workflow_name)
+        pool = generate_pool(workflow, pool_size, seed=seed)
+        for objective_name, unit in (
+            ("execution_time", "secs"),
+            ("computer_time", "core-hrs"),
+        ):
+            best_idx = pool.best_index(objective_name)
+            best_cfg = pool.configs[best_idx]
+            best_val = pool.best_value(objective_name)
+            expert_cfg = expert_config(workflow_name, objective_name)
+            expert_val = measure_workflow(
+                workflow, expert_cfg, noise_sigma=0
+            ).objective(objective_name)
+            result.rows.append(
+                {
+                    "workflow": workflow_name,
+                    "objective": objective_name,
+                    "option": "Best",
+                    "performance": best_val,
+                    "unit": unit,
+                    "configuration": str(best_cfg),
+                }
+            )
+            result.rows.append(
+                {
+                    "workflow": workflow_name,
+                    "objective": objective_name,
+                    "option": "Expert",
+                    "performance": expert_val,
+                    "unit": unit,
+                    "configuration": str(expert_cfg),
+                }
+            )
+    return result

@@ -1,0 +1,149 @@
+"""Terminal rendering of figure results (bars and line series).
+
+The paper's figures are bar charts (Figs. 5, 6, 8–10, 12) and recall
+curves (Figs. 4, 7, 11).  These helpers render
+:class:`~repro.experiments.figures.FigureResult` rows as aligned ASCII
+charts so ``python -m repro reproduce`` output reads like the figure it
+regenerates — no plotting dependencies required.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+__all__ = ["render_bars", "render_series", "render_figure"]
+
+_BLOCK = "█"
+_HALF = "▌"
+
+
+def render_bars(
+    rows: Sequence[Mapping],
+    label_fields: Sequence[str],
+    value_field: str,
+    width: int = 40,
+    baseline: float | None = None,
+) -> str:
+    """Horizontal bar chart, one bar per row.
+
+    Parameters
+    ----------
+    rows:
+        Figure rows.
+    label_fields:
+        Row keys concatenated into the bar label.
+    value_field:
+        Row key holding the bar length.
+    width:
+        Character width of the longest bar.
+    baseline:
+        Optional value marked with ``|`` on each bar's scale (e.g. the
+        normalised optimum 1.0).
+    """
+    if not rows:
+        return "(no rows)"
+    labels = [
+        " ".join(str(r[f]) for f in label_fields) for r in rows
+    ]
+    values = [float(r[value_field]) for r in rows]
+    finite = [v for v in values if v == v and abs(v) != float("inf")]
+    if not finite:
+        return "(no finite values)"
+    peak = max(max(finite), baseline or 0.0)
+    if peak <= 0:
+        peak = 1.0
+    label_w = max(len(s) for s in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        if value != value or abs(value) == float("inf"):
+            bar = "(inf)"
+        else:
+            cells = value / peak * width
+            bar = _BLOCK * int(cells) + (_HALF if cells % 1 >= 0.5 else "")
+        mark = ""
+        if baseline is not None:
+            pos = int(baseline / peak * width)
+            if len(bar) < pos:
+                bar = bar + " " * (pos - len(bar)) + "|"
+        lines.append(
+            f"{label.ljust(label_w)}  {bar} {value:g}{mark}"
+        )
+    return "\n".join(lines)
+
+
+def render_series(
+    rows: Sequence[Mapping],
+    series_field: str,
+    x_field: str,
+    y_field: str,
+    height: int = 12,
+    y_max: float | None = None,
+) -> str:
+    """Multi-series line chart (one letter per series) on a text grid.
+
+    Suits the recall curves: x = top-n, y = recall %, one letter per
+    algorithm.
+    """
+    if not rows:
+        return "(no rows)"
+    series_names = []
+    for r in rows:
+        name = str(r[series_field])
+        if name not in series_names:
+            series_names.append(name)
+    letters = {name: chr(ord("A") + i) for i, name in enumerate(series_names)}
+    xs = sorted({r[x_field] for r in rows})
+    x_index = {x: i for i, x in enumerate(xs)}
+    top = y_max if y_max is not None else max(float(r[y_field]) for r in rows)
+    if top <= 0:
+        top = 1.0
+    grid = [[" "] * len(xs) for _ in range(height)]
+    for r in rows:
+        col = x_index[r[x_field]]
+        y = float(r[y_field])
+        row_idx = height - 1 - int(min(y, top) / top * (height - 1))
+        cell = grid[row_idx][col]
+        grid[row_idx][col] = "*" if cell not in (" ", letters[str(r[series_field])]) else letters[str(r[series_field])]
+    axis_w = len(f"{top:g}")
+    lines = []
+    for i, row in enumerate(grid):
+        y_val = top * (height - 1 - i) / (height - 1)
+        label = f"{y_val:g}".rjust(axis_w) if i in (0, height - 1) else " " * axis_w
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * axis_w + " +" + "-" * len(xs))
+    lines.append(
+        " " * axis_w + "  " + "".join(str(x)[-1] for x in xs)
+        + f"   (x: {x_field} {xs[0]}..{xs[-1]})"
+    )
+    legend = "  ".join(f"{letter}={name}" for name, letter in letters.items())
+    lines.append(legend + "   (*=overlap)")
+    return "\n".join(lines)
+
+
+def render_figure(result, max_width: int = 40) -> str:
+    """Best-effort chart for a FigureResult.
+
+    Chooses a recall-curve line chart when rows carry ``top_n`` /
+    ``recall_pct``, a normalised bar chart when rows carry
+    ``normalized``, and falls back to the plain table otherwise.
+    """
+    rows = result.rows
+    if not rows:
+        return result.to_text()
+    keys = set(rows[0].keys())
+    if {"top_n", "recall_pct"} <= keys:
+        series_field = "algorithm" if "algorithm" in keys else "series"
+        return (
+            f"{result.figure}: {result.title}\n"
+            + render_series(rows, series_field, "top_n", "recall_pct", y_max=100.0)
+        )
+    if "normalized" in keys:
+        label_fields = [
+            f for f in ("objective", "workflow", "samples", "algorithm", "arm")
+            if f in keys
+        ]
+        return (
+            f"{result.figure}: {result.title}\n"
+            + render_bars(rows, label_fields, "normalized", max_width, baseline=1.0)
+        )
+    return result.to_text()

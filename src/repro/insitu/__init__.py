@@ -1,0 +1,36 @@
+"""In-situ coupled execution of workflows on the simulated machine.
+
+A :class:`~repro.insitu.workflow.WorkflowDefinition` is a DAG of
+component applications joined by streaming couplings (the paper's Fig. 1
+patterns).  :func:`~repro.insitu.coupled.run_coupled` executes it as a
+discrete-event simulation: every component is a process that computes
+its step, publishes to bounded staging buffers (back-pressure blocks the
+producer, emptiness blocks the consumer), and pulls upstream data across
+a shared fabric.  This reproduces the phenomena the paper attributes to
+in-situ coupling — synchronisation stalls, pipelining, fabric contention
+— and therefore the systematic error of component-model-based
+(low-fidelity) predictions.
+
+:func:`~repro.insitu.measurement.measure_workflow` wraps a coupled run
+into the paper's two observables: execution time (longest component
+wall-clock) and computer time (wall-clock × nodes × cores per node),
+with optional deterministic measurement noise.
+"""
+
+from repro.insitu.coupled import CoupledRunResult, run_coupled
+from repro.insitu.measurement import WorkflowMeasurement, measure_workflow
+from repro.insitu.tracing import RunTracer, TraceEvent
+from repro.insitu.transport import StagingChannelModel
+from repro.insitu.workflow import Coupling, WorkflowDefinition
+
+__all__ = [
+    "Coupling",
+    "CoupledRunResult",
+    "RunTracer",
+    "StagingChannelModel",
+    "TraceEvent",
+    "WorkflowDefinition",
+    "WorkflowMeasurement",
+    "measure_workflow",
+    "run_coupled",
+]

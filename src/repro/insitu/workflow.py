@@ -1,0 +1,236 @@
+"""Workflow definitions: components + streaming couplings + joint space.
+
+A workflow is a DAG (paper §2.3) whose nodes are
+:class:`~repro.apps.ComponentApp` models and whose edges are
+:class:`Coupling` streams.  The joint configuration space is the product
+of the component spaces with dotted name prefixes
+(:func:`repro.config.join_spaces`); feasibility is an
+:class:`~repro.config.AllocationConstraint` over the whole allocation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.apps.base import ComponentApp, SoloRunResult
+from repro.cluster.machine import Machine
+from repro.config.constraints import AllocationConstraint, ComponentPlacementSpec
+from repro.config.encoding import ConfigEncoder, DerivedFeature
+from repro.config.space import Configuration, ParameterSpace, join_spaces
+
+__all__ = ["Coupling", "WorkflowDefinition"]
+
+
+@dataclass(frozen=True)
+class Coupling:
+    """One streaming edge of the workflow DAG.
+
+    Parameters
+    ----------
+    producer, consumer:
+        Component labels.
+    buffer_messages:
+        Default staging-buffer depth in whole messages (double buffering
+        unless a tuned buffer parameter overrides it via the workflow's
+        ``buffer_hook``).
+    """
+
+    producer: str
+    consumer: str
+    buffer_messages: int = 2
+
+    def __post_init__(self) -> None:
+        if self.producer == self.consumer:
+            raise ValueError("a component cannot stream to itself")
+        if self.buffer_messages < 1:
+            raise ValueError("buffer_messages must be >= 1")
+
+
+@dataclass
+class WorkflowDefinition:
+    """A coupled in-situ workflow.
+
+    Parameters
+    ----------
+    name:
+        Short identifier (``"LV"``, ``"HS"``, ``"GP"``).
+    components:
+        Ordered ``(label, app)`` pairs; order fixes the layout of joint
+        configurations (paper Table 2 tuples).
+    couplings:
+        Streaming edges between labels.
+    n_steps:
+        Either a fixed int or a callable ``f(workflow, config) -> int``
+        (HS derives steps from Heat Transfer's ``outputs`` parameter).
+    machine:
+        Machine the workflow runs on.
+    buffer_hook:
+        Optional ``f(workflow, coupling, config) -> int`` overriding a
+        coupling's buffer depth from configuration parameters.
+    extra_features:
+        Additional derived features for the ML encoder.
+    """
+
+    name: str
+    components: tuple[tuple[str, ComponentApp], ...]
+    couplings: tuple[Coupling, ...]
+    n_steps: int | Callable = 20
+    machine: Machine = field(default_factory=Machine)
+    buffer_hook: Callable | None = None
+    extra_features: tuple[DerivedFeature, ...] = ()
+
+    _apps: dict = field(init=False, repr=False)
+    _space: ParameterSpace = field(init=False, repr=False)
+    _slices: dict = field(init=False, repr=False)
+    _constraint: AllocationConstraint = field(init=False, repr=False)
+    _graph: nx.DiGraph = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        labels = [label for label, _ in self.components]
+        if len(set(labels)) != len(labels):
+            raise ValueError(f"duplicate component labels: {labels}")
+        self._apps = dict(self.components)
+        for coupling in self.couplings:
+            for end in (coupling.producer, coupling.consumer):
+                if end not in self._apps:
+                    raise ValueError(f"coupling references unknown component {end!r}")
+        self._graph = nx.DiGraph()
+        self._graph.add_nodes_from(labels)
+        self._graph.add_edges_from(
+            (c.producer, c.consumer) for c in self.couplings
+        )
+        if not nx.is_directed_acyclic_graph(self._graph):
+            raise ValueError(f"workflow {self.name!r} couplings form a cycle")
+
+        self._space = join_spaces(
+            [(label, app.space) for label, app in self.components]
+        )
+        # Record where each component's parameters live in the joint tuple.
+        self._slices = {}
+        offset = 0
+        for label, app in self.components:
+            d = app.space.dimension
+            self._slices[label] = slice(offset, offset + d)
+            offset += d
+        self._constraint = AllocationConstraint(
+            space=self._space,
+            components=tuple(
+                self._placement_spec(label, app) for label, app in self.components
+            ),
+            max_nodes=self.machine.max_nodes,
+            cores_per_node=self.machine.node.cores,
+        )
+
+    def _placement_spec(self, label: str, app: ComponentApp) -> ComponentPlacementSpec:
+        names = set(app.space.names)
+        if {"px", "py"} <= names:
+            procs_names = (f"{label}.px", f"{label}.py")
+        else:
+            procs_names = (f"{label}.procs",)
+        ppn = f"{label}.ppn" if "ppn" in names else None
+        threads = f"{label}.threads" if "threads" in names else None
+        return ComponentPlacementSpec(procs_names, ppn, threads)
+
+    # -- structure --------------------------------------------------------------
+
+    @property
+    def labels(self) -> tuple[str, ...]:
+        """Component labels in definition order."""
+        return tuple(label for label, _ in self.components)
+
+    @property
+    def graph(self) -> nx.DiGraph:
+        """The workflow DAG (labels as nodes)."""
+        return self._graph
+
+    def app(self, label: str) -> ComponentApp:
+        """The component model behind ``label``."""
+        return self._apps[label]
+
+    def inputs_of(self, label: str) -> tuple[Coupling, ...]:
+        """Couplings feeding ``label``."""
+        return tuple(c for c in self.couplings if c.consumer == label)
+
+    def outputs_of(self, label: str) -> tuple[Coupling, ...]:
+        """Couplings fed by ``label``."""
+        return tuple(c for c in self.couplings if c.producer == label)
+
+    # -- configurations ------------------------------------------------------------
+
+    @property
+    def space(self) -> ParameterSpace:
+        """Joint configuration space (the multiplicative blow-up of §2.3)."""
+        return self._space
+
+    @property
+    def constraint(self) -> AllocationConstraint:
+        """Machine-level feasibility of joint configurations."""
+        return self._constraint
+
+    def component_config(self, label: str, config: Configuration) -> Configuration:
+        """Extract component ``label``'s sub-configuration ``c_j`` from ``c``."""
+        return tuple(config[self._slices[label]])
+
+    def steps(self, config: Configuration) -> int:
+        """Number of coupled streaming steps for this configuration."""
+        if callable(self.n_steps):
+            return int(self.n_steps(self, config))
+        return int(self.n_steps)
+
+    def buffer_messages(self, coupling: Coupling, config: Configuration) -> int:
+        """Staging depth of ``coupling`` under ``config``."""
+        if self.buffer_hook is not None:
+            depth = self.buffer_hook(self, coupling, config)
+            if depth is not None:
+                return max(1, int(depth))
+        return coupling.buffer_messages
+
+    def total_nodes(self, config: Configuration) -> int:
+        """Node footprint of the whole workflow."""
+        return sum(
+            self.app(label).placement(self.component_config(label, config)).nodes
+            for label in self.labels
+        )
+
+    def encoder(self) -> ConfigEncoder:
+        """ML feature encoder: raw joint values + per-component footprints."""
+        from repro.config.encoding import component_footprint_features
+
+        derived: list[DerivedFeature] = []
+        for label, app in self.components:
+            names = set(app.space.names)
+            if {"px", "py"} <= names:
+                procs_names: tuple[str, ...] = (f"{label}.px", f"{label}.py")
+            else:
+                procs_names = (f"{label}.procs",)
+            ppn = f"{label}.ppn" if "ppn" in names else None
+            threads = f"{label}.threads" if "threads" in names else None
+            if ppn is not None:
+                derived.extend(
+                    component_footprint_features(label, procs_names, ppn, threads)
+                )
+        return ConfigEncoder(self._space, tuple(derived) + self.extra_features)
+
+    # -- standalone component runs ------------------------------------------------
+
+    def solo_steps(self, label: str, comp_config: Configuration) -> int:
+        """Streaming steps a standalone run of ``label`` would perform."""
+        app = self.app(label)
+        if hasattr(app, "outputs"):
+            return int(app.outputs(comp_config))
+        if callable(self.n_steps):
+            # Config-dependent step counts derive from producers with an
+            # ``outputs`` knob; other components fall back to the typical
+            # mid-range value.
+            return 16
+        return int(self.n_steps)
+
+    def solo_run(self, label: str, comp_config: Configuration) -> SoloRunResult:
+        """Run component ``label`` standalone (trains component models)."""
+        app = self.app(label)
+        return app.solo_run(
+            self.machine, comp_config, self.solo_steps(label, comp_config)
+        )

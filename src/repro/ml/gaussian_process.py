@@ -1,0 +1,194 @@
+"""Gaussian-process regression (for the Bayesian-optimization tuner).
+
+The paper's §9 names Bayesian optimisation as a black-box technique to
+slot into the bootstrapping method, noting that BO "may naturally
+consider noise in selecting top configurations".  This module provides
+the GP substrate: exact GP regression with a Matérn-5/2 or RBF kernel on
+standardised inputs, log-standardised targets, and a small
+marginal-likelihood hyper-parameter search — numpy/scipy only.
+
+Training sets in this domain are tens of points, so the O(n³) Cholesky
+solve is trivially cheap.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy.linalg import cho_factor, cho_solve
+
+__all__ = ["GaussianProcessRegressor"]
+
+
+def _rbf(d2: np.ndarray) -> np.ndarray:
+    return np.exp(-0.5 * d2)
+
+
+def _matern52(d2: np.ndarray) -> np.ndarray:
+    d = np.sqrt(np.maximum(d2, 0.0))
+    s = math.sqrt(5.0) * d
+    return (1.0 + s + s * s / 3.0) * np.exp(-s)
+
+
+_KERNELS = {"rbf": _rbf, "matern52": _matern52}
+
+
+@dataclass
+class GaussianProcessRegressor:
+    """Exact GP regression with isotropic length-scale.
+
+    Parameters
+    ----------
+    kernel:
+        ``"matern52"`` (default; rugged performance surfaces) or ``"rbf"``.
+    noise:
+        Observation-noise variance added to the kernel diagonal (in
+        standardised-target units).  ``None`` selects it from a small
+        grid by marginal likelihood.
+    length_scale:
+        Kernel length scale on standardised inputs; ``None`` selects it
+        from a grid by marginal likelihood.
+    log_target:
+        Model ``log(y)``; predictions (and their uncertainty) are
+        reported back in the original scale via the log-normal moments.
+    """
+
+    kernel: str = "matern52"
+    noise: float | None = None
+    length_scale: float | None = None
+    log_target: bool = True
+
+    _X: np.ndarray = field(init=False, repr=False, default=None)
+    _alpha: np.ndarray = field(init=False, repr=False, default=None)
+    _chol: tuple = field(init=False, repr=False, default=None)
+    _x_mean: np.ndarray = field(init=False, repr=False, default=None)
+    _x_scale: np.ndarray = field(init=False, repr=False, default=None)
+    _y_mean: float = field(init=False, repr=False, default=0.0)
+    _y_scale: float = field(init=False, repr=False, default=1.0)
+    _ls: float = field(init=False, repr=False, default=1.0)
+    _nv: float = field(init=False, repr=False, default=1e-4)
+
+    def __post_init__(self) -> None:
+        if self.kernel not in _KERNELS:
+            raise ValueError(f"unknown kernel {self.kernel!r}")
+        if self.noise is not None and self.noise <= 0:
+            raise ValueError("noise must be positive")
+        if self.length_scale is not None and self.length_scale <= 0:
+            raise ValueError("length_scale must be positive")
+
+    # -- fitting -----------------------------------------------------------------
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "GaussianProcessRegressor":
+        """Fit the GP, selecting hyper-parameters by marginal likelihood."""
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        if y.shape != (X.shape[0],):
+            raise ValueError("y must align with X rows")
+        if X.shape[0] < 2:
+            raise ValueError("GP needs at least two samples")
+        if self.log_target:
+            if np.any(y <= 0):
+                raise ValueError("log_target requires strictly positive targets")
+            y = np.log(y)
+
+        self._x_mean = X.mean(axis=0)
+        scale = X.std(axis=0)
+        scale[scale == 0] = 1.0
+        self._x_scale = scale
+        Xs = (X - self._x_mean) / self._x_scale
+        self._y_mean = float(y.mean())
+        y_scale = float(y.std())
+        self._y_scale = y_scale if y_scale > 0 else 1.0
+        ys = (y - self._y_mean) / self._y_scale
+
+        ls_grid = (
+            [self.length_scale]
+            if self.length_scale is not None
+            else [0.5, 1.0, 2.0, 4.0]
+        )
+        nv_grid = (
+            [self.noise] if self.noise is not None else [1e-4, 1e-2, 1e-1]
+        )
+        best = (-np.inf, None)
+        d2 = self._pairwise_d2(Xs, Xs)
+        for ls in ls_grid:
+            K0 = _KERNELS[self.kernel](d2 / ls**2)
+            for nv in nv_grid:
+                K = K0 + nv * np.eye(len(ys))
+                try:
+                    chol = cho_factor(K, lower=True)
+                except np.linalg.LinAlgError:
+                    continue
+                alpha = cho_solve(chol, ys)
+                log_det = 2.0 * np.sum(np.log(np.diag(chol[0])))
+                mll = -0.5 * ys @ alpha - 0.5 * log_det
+                if mll > best[0]:
+                    best = (mll, (ls, nv, chol, alpha))
+        if best[1] is None:
+            raise RuntimeError("GP fit failed: kernel matrix not PD on any grid point")
+        self._ls, self._nv, self._chol, self._alpha = best[1]
+        self._X = Xs
+        return self
+
+    # -- prediction --------------------------------------------------------------
+
+    def predict(
+        self, X: np.ndarray, return_std: bool = False
+    ) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
+        """Posterior mean (and optionally standard deviation)."""
+        self._check_fitted()
+        X = np.asarray(X, dtype=np.float64)
+        Xs = (X - self._x_mean) / self._x_scale
+        Ks = _KERNELS[self.kernel](self._pairwise_d2(Xs, self._X) / self._ls**2)
+        mean_s = Ks @ self._alpha
+        mean = mean_s * self._y_scale + self._y_mean
+        if not return_std:
+            if self.log_target:
+                return np.exp(mean)
+            return mean
+        v = cho_solve(self._chol, Ks.T)
+        var_s = np.maximum(1.0 + self._nv - np.einsum("ij,ji->i", Ks, v), 1e-12)
+        std = np.sqrt(var_s) * self._y_scale
+        if self.log_target:
+            # Log-normal moments: mean and std in the original scale.
+            out_mean = np.exp(mean + 0.5 * std**2)
+            out_std = out_mean * np.sqrt(np.expm1(std**2))
+            return out_mean, out_std
+        return mean, std
+
+    def predict_latent(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Posterior mean/std in the (possibly log) modelling scale.
+
+        Acquisition functions (expected improvement) want the Gaussian
+        latent space, not the skewed log-normal output space.
+        """
+        self._check_fitted()
+        X = np.asarray(X, dtype=np.float64)
+        Xs = (X - self._x_mean) / self._x_scale
+        Ks = _KERNELS[self.kernel](self._pairwise_d2(Xs, self._X) / self._ls**2)
+        mean = Ks @ self._alpha * self._y_scale + self._y_mean
+        v = cho_solve(self._chol, Ks.T)
+        var_s = np.maximum(1.0 + self._nv - np.einsum("ij,ji->i", Ks, v), 1e-12)
+        return mean, np.sqrt(var_s) * self._y_scale
+
+    def to_latent(self, y: np.ndarray) -> np.ndarray:
+        """Map observed targets into the modelling scale."""
+        y = np.asarray(y, dtype=np.float64)
+        return np.log(y) if self.log_target else y
+
+    @staticmethod
+    def _pairwise_d2(A: np.ndarray, B: np.ndarray) -> np.ndarray:
+        d2 = (
+            (A**2).sum(axis=1)[:, None]
+            - 2.0 * A @ B.T
+            + (B**2).sum(axis=1)[None, :]
+        )
+        return np.maximum(d2, 0.0)
+
+    def _check_fitted(self) -> None:
+        if self._X is None:
+            raise RuntimeError("GP is not fitted; call fit() first")

@@ -1,0 +1,88 @@
+"""Regression and ranking metrics used in the paper's evaluation.
+
+* APE / MdAPE (§7.4.2): per-sample absolute percentage error and its
+  median over a test set.
+* top-n overlap: the set-intersection core of the paper's recall score
+  (Eqn. 3); the configuration-aware wrapper lives in
+  :mod:`repro.core.metrics`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "absolute_percentage_errors",
+    "mdape",
+    "rmse",
+    "mae",
+    "top_n_overlap",
+    "top_n_indices",
+]
+
+
+def absolute_percentage_errors(
+    y_true: np.ndarray, y_pred: np.ndarray
+) -> np.ndarray:
+    """Per-sample APE, ``|(y - ŷ) / y|`` (paper §7.4.2), as fractions."""
+    y_true = np.asarray(y_true, dtype=np.float64)
+    y_pred = np.asarray(y_pred, dtype=np.float64)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("y_true and y_pred must have the same shape")
+    if np.any(y_true == 0):
+        raise ValueError("APE is undefined for zero targets")
+    return np.abs((y_true - y_pred) / y_true)
+
+
+def mdape(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Median APE as a percentage (the paper plots MdAPE in %)."""
+    return float(np.median(absolute_percentage_errors(y_true, y_pred)) * 100.0)
+
+
+def rmse(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Root-mean-squared error."""
+    y_true = np.asarray(y_true, dtype=np.float64)
+    y_pred = np.asarray(y_pred, dtype=np.float64)
+    return float(np.sqrt(np.mean((y_true - y_pred) ** 2)))
+
+
+def mae(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean absolute error."""
+    y_true = np.asarray(y_true, dtype=np.float64)
+    y_pred = np.asarray(y_pred, dtype=np.float64)
+    return float(np.mean(np.abs(y_true - y_pred)))
+
+
+def top_n_indices(scores: np.ndarray, n: int, minimize: bool = True) -> np.ndarray:
+    """Indices of the ``n`` best entries of ``scores``.
+
+    Ties are broken by index (stable), matching the deterministic ranking
+    the experiment harness needs for reproducibility.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    n = min(n, scores.size)
+    order = np.argsort(scores, kind="stable")
+    return order[:n] if minimize else order[::-1][:n]
+
+
+def top_n_overlap(
+    scores_a: np.ndarray, scores_b: np.ndarray, n: int, minimize: bool = True
+) -> float:
+    """Fraction of common entries among the top-``n`` of two score vectors.
+
+    This is the recall score of Eqn. 3 with ``scores_a`` the model ranking
+    and ``scores_b`` the measured ranking, expressed as a fraction in
+    ``[0, 1]``.
+    """
+    scores_a = np.asarray(scores_a, dtype=np.float64)
+    scores_b = np.asarray(scores_b, dtype=np.float64)
+    if scores_a.shape != scores_b.shape:
+        raise ValueError("score vectors must have the same shape")
+    n = min(n, scores_a.size)
+    if n == 0:
+        return 0.0
+    a = set(top_n_indices(scores_a, n, minimize).tolist())
+    b = set(top_n_indices(scores_b, n, minimize).tolist())
+    return len(a & b) / n

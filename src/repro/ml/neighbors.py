@@ -1,0 +1,91 @@
+"""k-nearest-neighbour regression.
+
+Used by the Didona-style KNN ensemble (paper §8.2): for a query
+configuration, the accuracy of several candidate models is compared on
+the query's nearest measured neighbours, and the locally-best model is
+chosen.  Also usable as a plain regressor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["KNeighborsRegressor"]
+
+
+@dataclass
+class KNeighborsRegressor:
+    """Distance-weighted k-NN regression on standardised features.
+
+    Parameters
+    ----------
+    k:
+        Number of neighbours.
+    weights:
+        ``"uniform"`` or ``"distance"`` (inverse-distance weighting).
+    """
+
+    k: int = 5
+    weights: str = "distance"
+
+    _X: np.ndarray = field(init=False, repr=False, default=None)
+    _y: np.ndarray = field(init=False, repr=False, default=None)
+    _mean: np.ndarray = field(init=False, repr=False, default=None)
+    _scale: np.ndarray = field(init=False, repr=False, default=None)
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError("k must be >= 1")
+        if self.weights not in ("uniform", "distance"):
+            raise ValueError("weights must be 'uniform' or 'distance'")
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "KNeighborsRegressor":
+        """Store standardised training data."""
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        if y.shape != (X.shape[0],):
+            raise ValueError("y must align with X rows")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit on zero samples")
+        self._mean = X.mean(axis=0)
+        scale = X.std(axis=0)
+        scale[scale == 0] = 1.0
+        self._scale = scale
+        self._X = (X - self._mean) / self._scale
+        self._y = y.copy()
+        return self
+
+    def kneighbors(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Distances and indices of each query's k nearest neighbours."""
+        self._check_fitted()
+        X = (np.asarray(X, dtype=np.float64) - self._mean) / self._scale
+        # (n_query, n_train) pairwise distances; training sets are small.
+        d2 = (
+            (X**2).sum(axis=1)[:, None]
+            - 2.0 * X @ self._X.T
+            + (self._X**2).sum(axis=1)[None, :]
+        )
+        np.maximum(d2, 0.0, out=d2)
+        k = min(self.k, self._X.shape[0])
+        idx = np.argpartition(d2, k - 1, axis=1)[:, :k]
+        rows = np.arange(X.shape[0])[:, None]
+        order = np.argsort(d2[rows, idx], axis=1, kind="stable")
+        idx = idx[rows, order]
+        return np.sqrt(d2[rows, idx]), idx
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Weighted mean of each query's neighbours."""
+        dists, idx = self.kneighbors(X)
+        values = self._y[idx]
+        if self.weights == "uniform":
+            return values.mean(axis=1)
+        w = 1.0 / np.maximum(dists, 1e-12)
+        return (values * w).sum(axis=1) / w.sum(axis=1)
+
+    def _check_fitted(self) -> None:
+        if self._X is None:
+            raise RuntimeError("model is not fitted; call fit() first")

@@ -1,0 +1,59 @@
+"""Small model-selection helpers (split / k-fold), numpy-only."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["train_test_split", "kfold_indices", "cross_val_mdape"]
+
+
+def train_test_split(
+    n: int, test_fraction: float, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """Return shuffled ``(train_idx, test_idx)`` over ``range(n)``."""
+    if not 0 < test_fraction < 1:
+        raise ValueError("test_fraction must be in (0, 1)")
+    if n < 2:
+        raise ValueError("need at least two samples to split")
+    perm = rng.permutation(n)
+    n_test = max(1, int(round(test_fraction * n)))
+    n_test = min(n_test, n - 1)
+    return perm[n_test:], perm[:n_test]
+
+
+def kfold_indices(
+    n: int, k: int, rng: np.random.Generator
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Return ``k`` shuffled ``(train_idx, val_idx)`` folds over ``range(n)``."""
+    if k < 2:
+        raise ValueError("k must be >= 2")
+    if n < k:
+        raise ValueError(f"cannot make {k} folds from {n} samples")
+    perm = rng.permutation(n)
+    folds = np.array_split(perm, k)
+    out = []
+    for i in range(k):
+        val = folds[i]
+        train = np.concatenate([folds[j] for j in range(k) if j != i])
+        out.append((train, val))
+    return out
+
+
+def cross_val_mdape(
+    model_factory,
+    X: np.ndarray,
+    y: np.ndarray,
+    k: int,
+    rng: np.random.Generator,
+) -> float:
+    """Mean k-fold MdAPE of models produced by ``model_factory()``."""
+    from repro.ml.metrics import mdape
+
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    scores = []
+    for train, val in kfold_indices(len(y), k, rng):
+        model = model_factory()
+        model.fit(X[train], y[train])
+        scores.append(mdape(y[val], model.predict(X[val])))
+    return float(np.mean(scores))

@@ -1,0 +1,42 @@
+"""The paper's three benchmark workflows and their measured pools.
+
+* :func:`~repro.workflows.catalog.make_lv` — **LV**: LAMMPS → Voro++
+  (molecular dynamics streaming into Voronoi tessellation).
+* :func:`~repro.workflows.catalog.make_hs` — **HS**: Heat Transfer →
+  Stage Write (PDE simulation streaming into an I/O forwarder).
+* :func:`~repro.workflows.catalog.make_gp` — **GP**: Gray-Scott →
+  {PDF calculator → P-Plot, G-Plot} (four components, two of them
+  unconfigurable).
+
+:mod:`~repro.workflows.pools` generates and caches the ground-truth
+measurement pools (§7.1: 2000 random workflow configurations per
+workflow, 500 solo configurations per configurable component).
+"""
+
+from repro.workflows.catalog import (
+    WORKFLOW_FACTORIES,
+    expert_config,
+    make_gp,
+    make_hs,
+    make_lv,
+    make_workflow,
+)
+from repro.workflows.pools import (
+    ComponentHistory,
+    MeasuredPool,
+    generate_component_history,
+    generate_pool,
+)
+
+__all__ = [
+    "ComponentHistory",
+    "MeasuredPool",
+    "WORKFLOW_FACTORIES",
+    "expert_config",
+    "generate_component_history",
+    "generate_pool",
+    "make_gp",
+    "make_hs",
+    "make_lv",
+    "make_workflow",
+]

@@ -1,0 +1,308 @@
+"""Measured configuration pools (the paper's §7.1 experimental protocol).
+
+Two kinds of pre-measured data back every experiment:
+
+* :class:`MeasuredPool` — ``p`` random *feasible* workflow
+  configurations (paper: ``p = 2000``, sized by the tail bound of §5,
+  ``p ≈ -n·ln(1-P)``), each measured once in the in-situ mode.  The pool
+  doubles as the auto-tuners' candidate set ``C_pool`` and as the test
+  set for recall/MdAPE metrics.
+* :class:`ComponentHistory` — per configurable component, random solo
+  configurations with standalone execution/computer times (paper: 500
+  per component), used to train component models and as historical
+  measurements ``D_hist`` in §7.5.
+
+Generation is deterministic given the seed; results are memoised in
+process and optionally on disk (``REPRO_CACHE_DIR``).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.config.space import Configuration
+from repro.insitu.measurement import WorkflowMeasurement, measure_workflow, stable_seed
+from repro.insitu.workflow import WorkflowDefinition
+
+__all__ = [
+    "MeasuredPool",
+    "ComponentHistory",
+    "generate_pool",
+    "generate_component_history",
+    "pool_size_for",
+]
+
+_POOL_MEMO: dict = {}
+_HISTORY_MEMO: dict = {}
+
+
+def pool_size_for(top_fraction: float, probability: float) -> int:
+    """Pool size so its best config is in the top ``top_fraction`` w.p. ``probability``.
+
+    The §5 bound: ``p ≈ -n · ln(1 - P)`` with ``n = 1/top_fraction``.
+    For the paper's example (0.2 %, 98.2 %) this gives ≈ 2000.
+    """
+    if not 0 < top_fraction < 1 or not 0 < probability < 1:
+        raise ValueError("top_fraction and probability must be in (0, 1)")
+    return math.ceil(-(1.0 / top_fraction) * math.log(1.0 - probability))
+
+
+@dataclass(frozen=True)
+class MeasuredPool:
+    """Random feasible configurations with measured in-situ performance."""
+
+    workflow_name: str
+    configs: tuple[Configuration, ...]
+    measurements: tuple[WorkflowMeasurement, ...]
+
+    def __len__(self) -> int:
+        return len(self.configs)
+
+    def objective_values(self, objective: str) -> np.ndarray:
+        """Measured values of one objective, aligned with :attr:`configs`."""
+        return np.array(
+            [m.objective(objective) for m in self.measurements], dtype=np.float64
+        )
+
+    def best_index(self, objective: str) -> int:
+        """Index of the pool's best configuration for ``objective``."""
+        return int(np.argmin(self.objective_values(objective)))
+
+    def best_value(self, objective: str) -> float:
+        """The pool's best measured value (the "1" of the paper's plots)."""
+        return float(self.objective_values(objective).min())
+
+    def lookup(self, config: Configuration) -> WorkflowMeasurement:
+        """Measurement of a pool configuration."""
+        try:
+            index = self.configs.index(tuple(config))
+        except ValueError:
+            raise KeyError(f"configuration {config!r} is not in the pool") from None
+        return self.measurements[index]
+
+
+@dataclass(frozen=True)
+class ComponentHistory:
+    """Solo measurements of one component (the paper's 500-sample sets)."""
+
+    workflow_name: str
+    label: str
+    configs: tuple[Configuration, ...]
+    execution_seconds: np.ndarray
+    computer_core_hours: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.configs)
+
+    def objective_values(self, objective: str) -> np.ndarray:
+        """Per-config solo values of a workflow-level objective."""
+        if objective == "execution_time":
+            return self.execution_seconds
+        if objective == "computer_time":
+            return self.computer_core_hours
+        raise ValueError(f"unknown objective {objective!r}")
+
+    def subset(self, indices) -> "ComponentHistory":
+        """History restricted to ``indices`` (budgeted component runs)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        return ComponentHistory(
+            workflow_name=self.workflow_name,
+            label=self.label,
+            configs=tuple(self.configs[i] for i in indices),
+            execution_seconds=self.execution_seconds[indices],
+            computer_core_hours=self.computer_core_hours[indices],
+        )
+
+
+def _cache_dir() -> Path | None:
+    raw = os.environ.get("REPRO_CACHE_DIR")
+    if not raw:
+        return None
+    path = Path(raw)
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def generate_pool(
+    workflow: WorkflowDefinition,
+    size: int = 2000,
+    seed: int = 2021,
+    noise_sigma: float = 0.05,
+    replicates: int = 1,
+) -> MeasuredPool:
+    """Sample and measure ``size`` random feasible configurations.
+
+    Deterministic given ``(workflow.name, size, seed, noise_sigma,
+    replicates)`` and memoised; pass distinct seeds for independent
+    pools.
+
+    ``replicates > 1`` measures each configuration that many times with
+    independent noise and records the mean — the noise-mitigation
+    practice the paper's §9 describes ("existing methods select the
+    average/median of three to five measurements").  The noise-ablation
+    benchmark contrasts tuning quality on single-shot vs averaged pools.
+    """
+    if replicates < 1:
+        raise ValueError("replicates must be >= 1")
+    key = (workflow.name, size, seed, noise_sigma, replicates)
+    if key in _POOL_MEMO:
+        return _POOL_MEMO[key]
+
+    cache = _cache_dir()
+    cache_file = (
+        cache
+        / f"pool_{workflow.name}_{size}_{seed}_{noise_sigma}_{replicates}.npz"
+        if cache
+        else None
+    )
+    if cache_file is not None and cache_file.exists():
+        pool = _load_pool(workflow, cache_file)
+        _POOL_MEMO[key] = pool
+        return pool
+
+    rng = np.random.default_rng(stable_seed("pool", workflow.name, size, seed))
+    configs = workflow.space.sample(
+        rng, size, constraint=workflow.constraint, unique=True
+    )
+    measurements = tuple(
+        _measure_replicated(workflow, c, noise_sigma, seed, replicates)
+        for c in configs
+    )
+    pool = MeasuredPool(workflow.name, tuple(configs), measurements)
+    _POOL_MEMO[key] = pool
+    if cache_file is not None:
+        _save_pool(pool, cache_file)
+    return pool
+
+
+def _measure_replicated(
+    workflow: WorkflowDefinition,
+    config: Configuration,
+    noise_sigma: float,
+    seed: int,
+    replicates: int,
+) -> WorkflowMeasurement:
+    """Average ``replicates`` independent noisy measurements of one config."""
+    runs = [
+        measure_workflow(
+            workflow,
+            config,
+            noise_sigma=noise_sigma,
+            noise_seed=seed if replicates == 1 else stable_seed(seed, rep),
+        )
+        for rep in range(replicates)
+    ]
+    if replicates == 1:
+        return runs[0]
+    labels = runs[0].component_seconds.keys()
+    return WorkflowMeasurement(
+        config=runs[0].config,
+        execution_seconds=float(np.mean([r.execution_seconds for r in runs])),
+        computer_core_hours=float(
+            np.mean([r.computer_core_hours for r in runs])
+        ),
+        component_seconds={
+            label: float(np.mean([r.component_seconds[label] for r in runs]))
+            for label in labels
+        },
+        nodes=runs[0].nodes,
+        steps=runs[0].steps,
+    )
+
+
+def generate_component_history(
+    workflow: WorkflowDefinition,
+    label: str,
+    size: int = 500,
+    seed: int = 2021,
+    noise_sigma: float = 0.05,
+) -> ComponentHistory:
+    """Sample and solo-measure ``size`` random component configurations."""
+    key = (workflow.name, label, size, seed, noise_sigma)
+    if key in _HISTORY_MEMO:
+        return _HISTORY_MEMO[key]
+    app = workflow.app(label)
+    machine = workflow.machine
+    rng = np.random.default_rng(
+        stable_seed("history", workflow.name, label, size, seed)
+    )
+
+    def feasible(comp_config: Configuration) -> bool:
+        placement = app.placement(comp_config)
+        return (
+            placement.busy_cores_per_node <= machine.node.cores
+            and placement.procs >= placement.procs_per_node
+            and placement.nodes <= machine.max_nodes
+        )
+
+    configs = app.space.sample(rng, size, constraint=feasible, unique=True)
+    noise_rng = np.random.default_rng(
+        stable_seed("history-noise", workflow.name, label, size, seed)
+    )
+    exec_times = np.empty(size)
+    comp_hours = np.empty(size)
+    for i, comp_config in enumerate(configs):
+        solo = workflow.solo_run(label, comp_config)
+        factor = float(np.exp(noise_rng.normal(0.0, noise_sigma)))
+        exec_times[i] = solo.execution_seconds * factor
+        comp_hours[i] = solo.computer_core_hours * factor
+    history = ComponentHistory(
+        workflow_name=workflow.name,
+        label=label,
+        configs=tuple(configs),
+        execution_seconds=exec_times,
+        computer_core_hours=comp_hours,
+    )
+    _HISTORY_MEMO[key] = history
+    return history
+
+
+# -- disk cache ---------------------------------------------------------------------
+
+
+def _save_pool(pool: MeasuredPool, path: Path) -> None:
+    configs = np.array([list(c) for c in pool.configs], dtype=np.float64)
+    np.savez_compressed(
+        path,
+        configs=configs,
+        execution=np.array([m.execution_seconds for m in pool.measurements]),
+        computer=np.array([m.computer_core_hours for m in pool.measurements]),
+        nodes=np.array([m.nodes for m in pool.measurements]),
+        steps=np.array([m.steps for m in pool.measurements]),
+        component_labels=np.array(
+            sorted(pool.measurements[0].component_seconds), dtype=object
+        ),
+        component_seconds=np.array(
+            [
+                [m.component_seconds[k] for k in sorted(m.component_seconds)]
+                for m in pool.measurements
+            ]
+        ),
+    )
+
+
+def _load_pool(workflow: WorkflowDefinition, path: Path) -> MeasuredPool:
+    data = np.load(path, allow_pickle=True)
+    raw_configs = data["configs"]
+    configs = tuple(
+        tuple(int(v) if float(v).is_integer() else float(v) for v in row)
+        for row in raw_configs
+    )
+    labels = [str(x) for x in data["component_labels"]]
+    measurements = tuple(
+        WorkflowMeasurement(
+            config=configs[i],
+            execution_seconds=float(data["execution"][i]),
+            computer_core_hours=float(data["computer"][i]),
+            component_seconds=dict(zip(labels, data["component_seconds"][i])),
+            nodes=int(data["nodes"][i]),
+            steps=int(data["steps"][i]),
+        )
+        for i in range(len(configs))
+    )
+    return MeasuredPool(workflow.name, configs, measurements)

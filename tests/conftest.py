@@ -1,0 +1,71 @@
+"""Shared fixtures: workflows, small measured pools, histories.
+
+Pools are generated once per session (generation is memoised inside
+``repro.workflows.pools`` as well) and kept small so the whole suite
+stays fast while still exercising the real DES-backed ground truth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import settings as hypothesis_settings
+
+from repro.cluster.machine import Machine
+
+# Deterministic property-based testing: the suite gates commits and
+# benchmarks, so example generation must not vary across runs.
+hypothesis_settings.register_profile("repro", derandomize=True)
+hypothesis_settings.load_profile("repro")
+from repro.workflows.catalog import make_gp, make_hs, make_lv
+from repro.workflows.pools import generate_component_history, generate_pool
+
+SMALL_POOL = 150
+
+
+@pytest.fixture(scope="session")
+def machine() -> Machine:
+    return Machine()
+
+
+@pytest.fixture(scope="session")
+def lv():
+    return make_lv()
+
+
+@pytest.fixture(scope="session")
+def hs():
+    return make_hs()
+
+
+@pytest.fixture(scope="session")
+def gp():
+    return make_gp()
+
+
+@pytest.fixture(scope="session")
+def lv_pool(lv):
+    return generate_pool(lv, SMALL_POOL, seed=7)
+
+
+@pytest.fixture(scope="session")
+def hs_pool(hs):
+    return generate_pool(hs, SMALL_POOL, seed=7)
+
+
+@pytest.fixture(scope="session")
+def gp_pool(gp):
+    return generate_pool(gp, SMALL_POOL, seed=7)
+
+
+@pytest.fixture(scope="session")
+def lv_histories(lv):
+    return {
+        label: generate_component_history(lv, label, size=120, seed=7)
+        for label in lv.labels
+    }
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(42)

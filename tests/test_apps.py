@@ -1,0 +1,183 @@
+"""Unit tests for the component application performance models."""
+
+import pytest
+
+from repro.apps import (
+    GPlot,
+    GrayScott,
+    HeatTransfer,
+    Lammps,
+    PPlot,
+    PdfCalculator,
+    StageWrite,
+    VoroPlusPlus,
+)
+from repro.apps.base import AppModelError, StepProfile
+from repro.cluster.machine import Machine
+
+MACHINE = Machine()
+
+
+def profile(app, config, input_bytes=0.0):
+    return app.step_profile(MACHINE, config, input_bytes)
+
+
+class TestParameterSpaces:
+    """Table 1 fidelity."""
+
+    def test_lammps_space(self):
+        space = Lammps().space
+        assert space.names == ("procs", "ppn", "threads")
+        assert space["procs"].values[0] == 2 and space["procs"].values[-1] == 1085
+        assert space["ppn"].n_options == 35
+        assert space["threads"].values == (1, 2, 3, 4)
+
+    def test_heat_space(self):
+        space = HeatTransfer().space
+        assert space.names == ("px", "py", "ppn", "outputs", "buffer_mb")
+        assert space["px"].values[0] == 2 and space["px"].values[-1] == 32
+        assert space["outputs"].values == (4, 8, 16, 32)
+        assert space["buffer_mb"].n_options == 40
+
+    def test_stage_write_space(self):
+        space = StageWrite().space
+        assert space.names == ("procs", "ppn")
+
+    def test_pdf_space_allows_single_proc(self):
+        space = PdfCalculator().space
+        assert space["procs"].values[0] == 1
+        assert space["procs"].values[-1] == 512
+
+    def test_plotters_are_unconfigurable(self):
+        assert GPlot().space.size() == 1
+        assert PPlot().space.size() == 1
+
+
+class TestScalingBehaviour:
+    def test_lammps_strong_scaling_then_saturation(self):
+        app = Lammps()
+        t_small = profile(app, (8, 8, 1)).compute_seconds
+        t_mid = profile(app, (256, 32, 1)).compute_seconds
+        assert t_mid < t_small / 4  # strong scaling region
+
+    def test_lammps_threads_help_sublinearly(self):
+        app = Lammps()
+        t1 = profile(app, (64, 8, 1)).compute_seconds
+        t4 = profile(app, (64, 8, 4)).compute_seconds
+        assert t4 < t1
+        assert t4 > t1 / 4  # not perfectly
+
+    def test_voro_threads_nearly_useless(self):
+        app = VoroPlusPlus()
+        t1 = profile(app, (64, 8, 1)).compute_seconds
+        t4 = profile(app, (64, 8, 4)).compute_seconds
+        assert t4 > 0.6 * t1  # low thread efficiency
+
+    def test_voro_work_scales_with_input(self):
+        app = VoroPlusPlus()
+        small = profile(app, (64, 8, 1), input_bytes=app.nominal_input_bytes)
+        big = profile(app, (64, 8, 1), input_bytes=4 * app.nominal_input_bytes)
+        assert big.compute_seconds > 2 * small.compute_seconds
+
+    def test_heat_square_decomposition_beats_sliver(self):
+        app = HeatTransfer()
+        square = profile(app, (16, 16, 16, 4, 20)).compute_seconds
+        sliver = profile(app, (32, 8, 16, 4, 20)).compute_seconds
+        assert square < sliver
+
+    def test_heat_dense_packing_hits_memory_wall(self):
+        app = HeatTransfer()
+        sparse = profile(app, (16, 16, 9, 4, 20)).compute_seconds
+        dense = profile(app, (16, 16, 32, 4, 20)).compute_seconds
+        assert dense > sparse  # same procs, denser nodes
+
+    def test_heat_outputs_split_work(self):
+        app = HeatTransfer()
+        few = profile(app, (16, 16, 16, 4, 20))
+        many = profile(app, (16, 16, 16, 32, 20))
+        # per-step work shrinks with more outputs (total constant)
+        assert many.compute_seconds < few.compute_seconds
+        assert many.output_bytes == few.output_bytes
+
+    def test_heat_small_buffer_pays_drains(self):
+        app = HeatTransfer()
+        big = profile(app, (4, 4, 16, 4, 40)).compute_seconds
+        small = profile(app, (4, 4, 16, 4, 1)).compute_seconds
+        assert small > big
+
+    def test_stage_write_saturates_with_writers(self):
+        app = StageWrite()
+        few = app.aggregate_write_gbps(MACHINE, (4, 4))
+        mid = app.aggregate_write_gbps(MACHINE, (64, 32))
+        assert mid > few
+        lots = app.aggregate_write_gbps(MACHINE, (1024, 35))
+        assert lots < mid * 1.5  # saturation / crowding
+
+    def test_stage_write_time_tracks_input(self):
+        app = StageWrite()
+        small = profile(app, (32, 16), input_bytes=1e8)
+        large = profile(app, (32, 16), input_bytes=1e9)
+        assert large.compute_seconds > small.compute_seconds
+        assert large.write_bytes == 1e9
+
+    def test_gray_scott_output_is_field(self):
+        app = GrayScott()
+        assert profile(app, (64, 16)).output_bytes == app.field_bytes
+
+    def test_pdf_work_scales_with_input(self):
+        app = PdfCalculator()
+        small = profile(app, (16, 8), input_bytes=1e8)
+        large = profile(app, (16, 8), input_bytes=1e9)
+        assert large.compute_seconds > small.compute_seconds
+
+    def test_pdf_output_small(self):
+        app = PdfCalculator()
+        assert profile(app, (16, 8)).output_bytes < 1e6
+
+    def test_gplot_dominates_pplot(self):
+        g = profile(GPlot(), (1,), input_bytes=GPlot().nominal_input_bytes)
+        p = profile(PPlot(), (1,), input_bytes=PPlot().nominal_input_bytes)
+        assert g.compute_seconds > 10 * p.compute_seconds
+
+
+class TestSoloRuns:
+    def test_solo_run_positive_and_consistent(self):
+        app = Lammps()
+        solo = app.solo_run(MACHINE, (64, 16, 1), n_steps=10)
+        assert solo.execution_seconds > 0
+        assert solo.nodes == 4
+        expected_ch = MACHINE.core_hours(solo.execution_seconds, 4)
+        assert solo.computer_core_hours == pytest.approx(expected_ch)
+
+    def test_solo_run_scales_with_steps(self):
+        app = GrayScott()
+        short = app.solo_run(MACHINE, (64, 16), n_steps=5)
+        long = app.solo_run(MACHINE, (64, 16), n_steps=20)
+        assert long.execution_seconds > short.execution_seconds
+
+    def test_solo_rejects_bad_steps(self):
+        with pytest.raises(ValueError):
+            Lammps().solo_run(MACHINE, (64, 16, 1), n_steps=0)
+
+    def test_validate_config(self):
+        app = Lammps()
+        app.validate_config(MACHINE, (64, 16, 1))
+        with pytest.raises(AppModelError):
+            app.validate_config(MACHINE, (0, 16, 1))
+        with pytest.raises(ValueError):
+            # 35 ppn x 4 threads = 140 > 36 cores
+            app.validate_config(MACHINE, (70, 35, 4))
+
+    def test_startup_grows_with_scale(self):
+        app = Lammps()
+        small = app.startup_seconds(MACHINE, (4, 4, 1))
+        large = app.startup_seconds(MACHINE, (1024, 32, 1))
+        assert large > small
+
+
+class TestStepProfile:
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            StepProfile(compute_seconds=-1.0)
+        with pytest.raises(ValueError):
+            StepProfile(compute_seconds=1.0, output_bytes=-5)

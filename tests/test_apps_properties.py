@@ -1,0 +1,110 @@
+"""Property-based tests of the application models (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import GrayScott, HeatTransfer, Lammps, StageWrite, VoroPlusPlus
+from repro.apps.scaling import (
+    amdahl_compute_seconds,
+    exchange_seconds,
+    halo_bytes_2d,
+    halo_bytes_3d,
+    thread_speedup,
+)
+from repro.cluster.allocation import place_component
+from repro.cluster.machine import Machine
+
+MACHINE = Machine()
+
+
+@st.composite
+def placements(draw):
+    ppn = draw(st.integers(1, 35))
+    nodes = draw(st.integers(1, 30))
+    procs = max(2, ppn * nodes - draw(st.integers(0, ppn - 1)))
+    threads = draw(st.integers(1, max(1, 36 // ppn)))
+    return place_component(procs, ppn, threads)
+
+
+@given(p=placements(), work=st.floats(1.0, 1e5), serial=st.floats(0.0, 0.1),
+       eff=st.floats(0.0, 1.0), bpf=st.floats(0.0, 1.5))
+@settings(max_examples=60, deadline=None)
+def test_amdahl_time_positive_and_finite(p, work, serial, eff, bpf):
+    t = amdahl_compute_seconds(MACHINE, p, work, serial, eff, bpf)
+    assert np.isfinite(t) and t > 0
+
+
+@given(p=placements(), work=st.floats(10.0, 1e4))
+@settings(max_examples=40, deadline=None)
+def test_amdahl_never_beats_ideal_speedup(p, work):
+    """Time is at least work / (ideal workers × rate)."""
+    t = amdahl_compute_seconds(MACHINE, p, work, 0.0, 1.0, 0.0)
+    ideal = work / (p.procs * p.threads_per_proc * MACHINE.node.core_gflops)
+    assert t >= ideal - 1e-12
+
+
+@given(threads=st.integers(1, 8), eff=st.floats(0.0, 1.0))
+@settings(max_examples=40, deadline=None)
+def test_thread_speedup_bounds(threads, eff):
+    s = thread_speedup(threads, eff)
+    assert 1.0 <= s <= threads
+
+
+@given(domain=st.floats(1e3, 1e10), procs=st.integers(1, 2048))
+@settings(max_examples=40, deadline=None)
+def test_halo_3d_sublinear_in_procs(domain, procs):
+    """Per-process halo shrinks as the decomposition refines."""
+    h1 = halo_bytes_3d(domain, procs)
+    h2 = halo_bytes_3d(domain, procs * 2)
+    assert h1 >= 0 and h2 <= h1 or procs == 1
+
+
+@given(domain=st.floats(1e6, 1e10), px=st.integers(1, 64), py=st.integers(1, 64))
+@settings(max_examples=40, deadline=None)
+def test_halo_2d_nonnegative(domain, px, py):
+    assert halo_bytes_2d(domain, px, py) >= 0.0
+
+
+@given(p=placements(), per_proc=st.floats(0.0, 1e8))
+@settings(max_examples=40, deadline=None)
+def test_exchange_seconds_nonnegative_monotone(p, per_proc):
+    t1 = exchange_seconds(MACHINE, p, per_proc)
+    t2 = exchange_seconds(MACHINE, p, per_proc * 2)
+    assert 0 <= t1 <= t2 + 1e-12
+
+
+APP_CONFIG_STRATEGIES = {
+    "lammps": st.tuples(st.integers(2, 1085), st.integers(1, 35),
+                        st.integers(1, 4)),
+    "voro": st.tuples(st.integers(2, 1085), st.integers(1, 35),
+                      st.integers(1, 4)),
+    "heat": st.tuples(st.integers(2, 32), st.integers(2, 32),
+                      st.integers(1, 35), st.sampled_from((4, 8, 16, 32)),
+                      st.integers(1, 40)),
+    "stage_write": st.tuples(st.integers(2, 1085), st.integers(1, 35)),
+    "gray_scott": st.tuples(st.integers(2, 1085), st.integers(1, 35)),
+}
+
+_APPS = {
+    "lammps": Lammps(),
+    "voro": VoroPlusPlus(),
+    "heat": HeatTransfer(),
+    "stage_write": StageWrite(),
+    "gray_scott": GrayScott(),
+}
+
+
+@given(name=st.sampled_from(sorted(_APPS)), data=st.data())
+@settings(max_examples=80, deadline=None)
+def test_step_profiles_always_well_formed(name, data):
+    """Any in-space configuration yields a positive, finite step profile."""
+    app = _APPS[name]
+    config = data.draw(APP_CONFIG_STRATEGIES[name])
+    if not app.space.contains(config):
+        return
+    profile = app.step_profile(MACHINE, config, app.nominal_input_bytes)
+    assert np.isfinite(profile.compute_seconds)
+    assert profile.compute_seconds > 0
+    assert profile.output_bytes >= 0
+    assert profile.write_bytes >= 0

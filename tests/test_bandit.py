@@ -1,0 +1,82 @@
+"""Tests for the region-bandit tuner (§9 RL-flavoured extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithms import RandomSampling, RegionBandit
+from repro.core.algorithms.bandit import _kmeans
+from repro.core.objectives import COMPUTER_TIME
+from repro.core.problem import TuningProblem
+
+
+class TestKmeans:
+    def test_separates_obvious_clusters(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(0.0, 0.01, size=(20, 2))
+        b = rng.normal(1.0, 0.01, size=(20, 2))
+        labels = _kmeans(np.vstack([a, b]), 2, rng)
+        assert len(set(labels[:20])) == 1
+        assert len(set(labels[20:])) == 1
+        assert labels[0] != labels[20]
+
+    def test_k_capped_by_points(self):
+        rng = np.random.default_rng(0)
+        points = rng.uniform(size=(3, 2))
+        labels = _kmeans(points, 10, rng)
+        assert labels.shape == (3,)
+
+
+class TestRegionBandit:
+    def test_respects_budget(self, lv, lv_pool, lv_histories):
+        problem = TuningProblem.create(
+            lv, COMPUTER_TIME, lv_pool, budget_runs=20, seed=4,
+            histories=lv_histories,
+        )
+        result = RegionBandit(n_regions=4).tune(problem)
+        assert result.runs_used == 20
+        assert len(result.measured) == 20
+        assert result.algorithm == "Bandit"
+
+    def test_trace_records_regions(self, lv, lv_pool, lv_histories):
+        problem = TuningProblem.create(
+            lv, COMPUTER_TIME, lv_pool, budget_runs=16, seed=4,
+            histories=lv_histories,
+        )
+        result = RegionBandit(n_regions=4).tune(problem)
+        assert result.trace
+        assert all("region" in t and "ucb" in t for t in result.trace)
+
+    def test_concentrates_on_good_regions(self, lv, lv_pool, lv_histories):
+        """Later pulls favour regions with better measured values."""
+        problem = TuningProblem.create(
+            lv, COMPUTER_TIME, lv_pool, budget_runs=30, seed=4,
+            histories=lv_histories,
+        )
+        result = RegionBandit(n_regions=4, exploration=0.3).tune(problem)
+        values = np.array(list(result.measured.values()))
+        # The last third of measurements is better on average than the
+        # first third (the bandit learned where the good regions are).
+        k = len(values) // 3
+        assert values[-k:].mean() <= values[:k].mean() * 1.3
+
+    def test_competitive_with_random(self, lv, lv_pool, lv_histories):
+        best = lv_pool.best_value("computer_time")
+        gaps = {"Bandit": [], "RS": []}
+        for rep in range(5):
+            for name, algo in (
+                ("Bandit", RegionBandit()),
+                ("RS", RandomSampling()),
+            ):
+                problem = TuningProblem.create(
+                    lv, COMPUTER_TIME, lv_pool, budget_runs=24,
+                    seed=700 + rep, histories=lv_histories,
+                )
+                result = algo.tune(problem)
+                gaps[name].append(result.best_actual_value(lv_pool) / best)
+        assert np.mean(gaps["Bandit"]) <= np.mean(gaps["RS"]) + 0.05
+
+    def test_invalid_hyperparams(self):
+        with pytest.raises(ValueError):
+            RegionBandit(n_regions=1)
+        with pytest.raises(ValueError):
+            RegionBandit(exploration=-0.1)

@@ -1,0 +1,68 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_tune_defaults(self):
+        args = build_parser().parse_args(["tune"])
+        assert args.workflow == "LV"
+        assert args.objective == "computer_time"
+        assert args.budget == 50
+        assert args.algorithm == "ceal"
+
+    def test_reproduce_requires_target(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["reproduce"])
+
+    def test_invalid_workflow_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["tune", "--workflow", "XX"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestTuneCommand:
+    @pytest.mark.parametrize("algorithm", ["rs", "al", "ceal"])
+    def test_tune_runs_and_reports(self, algorithm):
+        out = io.StringIO()
+        code = main(
+            [
+                "tune",
+                "--workflow", "LV",
+                "--objective", "execution_time",
+                "--budget", "10",
+                "--pool-size", "150",
+                "--algorithm", algorithm,
+                "--use-history",
+                "--seed", "7",
+            ],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "recommended configuration" in text
+        assert "lammps.procs" in text
+        assert "gap" in text
+
+
+class TestReproduceCommand:
+    def test_reproduce_table1(self):
+        out = io.StringIO()
+        code = main(["reproduce", "--target", "table1"], out=out)
+        assert code == 0
+        assert "Table 1" in out.getvalue()
+
+    def test_reproduce_fig04(self):
+        out = io.StringIO()
+        code = main(
+            ["reproduce", "--target", "fig04", "--seed", "7"], out=out
+        )
+        assert code == 0
+        assert "Fig. 4" in out.getvalue()

@@ -1,0 +1,112 @@
+"""Unit tests for repro.config.constraints."""
+
+import pytest
+
+from repro.config.constraints import (
+    AllocationConstraint,
+    AndConstraint,
+    ComponentPlacementSpec,
+    PredicateConstraint,
+    conjoin,
+    nodes_for,
+)
+from repro.config.space import ParameterSpace, int_range, join_spaces
+
+
+def test_nodes_for_rounds_up():
+    assert nodes_for(36, 35) == 2
+    assert nodes_for(35, 35) == 1
+    assert nodes_for(1, 35) == 1
+
+
+def test_nodes_for_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        nodes_for(0, 35)
+    with pytest.raises(ValueError):
+        nodes_for(10, 0)
+
+
+def test_predicate_constraint_wraps():
+    c = PredicateConstraint(lambda cfg: cfg[0] > 0, "positive first entry")
+    assert c((1,))
+    assert not c((0,))
+
+
+def test_and_constraint_all_must_pass():
+    c = AndConstraint((lambda cfg: cfg[0] > 0, lambda cfg: cfg[0] < 10))
+    assert c((5,))
+    assert not c((0,))
+    assert not c((10,))
+
+
+def test_conjoin_builds_and():
+    c = conjoin(lambda cfg: True, lambda cfg: cfg[0] == 1)
+    assert c((1,))
+    assert not c((2,))
+
+
+@pytest.fixture()
+def joint_space():
+    sim = ParameterSpace(
+        (int_range("procs", 2, 1085), int_range("ppn", 1, 35),
+         int_range("threads", 1, 4))
+    )
+    viz = ParameterSpace((int_range("procs", 2, 1085), int_range("ppn", 1, 35)))
+    return join_spaces([("sim", sim), ("viz", viz)])
+
+
+@pytest.fixture()
+def allocation(joint_space):
+    return AllocationConstraint(
+        space=joint_space,
+        components=(
+            ComponentPlacementSpec(("sim.procs",), "sim.ppn", "sim.threads"),
+            ComponentPlacementSpec(("viz.procs",), "viz.ppn", None),
+        ),
+        max_nodes=32,
+        cores_per_node=36,
+    )
+
+
+class TestAllocationConstraint:
+    def test_feasible_config(self, allocation):
+        # sim: 288/18 = 16 nodes, viz: 288/18 = 16 nodes -> 32 total
+        assert allocation((288, 18, 2, 288, 18))
+
+    def test_node_cap_violated(self, allocation):
+        # sim: 1085/35 = 31 nodes, viz: 70/35 = 2 nodes -> 33 > 32
+        assert not allocation((1085, 35, 1, 70, 35))
+
+    def test_core_oversubscription(self, allocation):
+        # ppn 18 * threads 3 = 54 > 36 cores
+        assert not allocation((36, 18, 3, 2, 1))
+
+    def test_ppn_exceeding_procs(self, allocation):
+        # 2 procs but 35 per node declared
+        assert not allocation((2, 35, 1, 2, 1))
+
+    def test_total_nodes(self, allocation):
+        assert allocation.total_nodes((288, 18, 2, 288, 18)) == 32
+
+    def test_extra_nodes_count(self, joint_space):
+        constraint = AllocationConstraint(
+            space=joint_space,
+            components=(
+                ComponentPlacementSpec(("sim.procs",), "sim.ppn", None),
+            ),
+            max_nodes=3,
+            cores_per_node=36,
+            extra_nodes=2,
+        )
+        # sim needs 2 nodes + 2 extra = 4 > 3
+        assert not constraint((36, 18, 1, 2, 1))
+        assert constraint((18, 18, 1, 2, 1))
+
+
+def test_product_procs_spec(joint_space):
+    grid = ParameterSpace((int_range("px", 2, 8), int_range("py", 2, 8),
+                           int_range("ppn", 1, 35)))
+    joint = join_spaces([("heat", grid)])
+    spec = ComponentPlacementSpec(("heat.px", "heat.py"), "heat.ppn", None)
+    assert spec.procs(joint, (4, 8, 16)) == 32
+    assert spec.nodes(joint, (4, 8, 16)) == 2

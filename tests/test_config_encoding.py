@@ -1,0 +1,75 @@
+"""Unit tests for repro.config.encoding."""
+
+import numpy as np
+import pytest
+
+from repro.config.encoding import (
+    ConfigEncoder,
+    DerivedFeature,
+    component_footprint_features,
+)
+from repro.config.space import ParameterSpace, int_range, join_spaces
+
+
+@pytest.fixture()
+def space():
+    return ParameterSpace((int_range("procs", 2, 100), int_range("ppn", 1, 35)))
+
+
+def test_raw_encoding_matches_values(space):
+    enc = ConfigEncoder(space)
+    X = enc.encode([(10, 5), (20, 7)])
+    assert X.shape == (2, 2)
+    np.testing.assert_array_equal(X, [[10, 5], [20, 7]])
+
+
+def test_empty_encoding(space):
+    enc = ConfigEncoder(space)
+    assert enc.encode([]).shape == (0, 2)
+
+
+def test_derived_feature_appended(space):
+    nodes = DerivedFeature("nodes", lambda s, c: -(-c[0] // c[1]))
+    enc = ConfigEncoder(space, (nodes,))
+    X = enc.encode([(10, 3)])
+    assert X.shape == (1, 3)
+    assert X[0, 2] == 4  # ceil(10/3)
+    assert enc.feature_names() == ("procs", "ppn", "nodes")
+
+
+def test_with_derived_returns_new_encoder(space):
+    enc = ConfigEncoder(space)
+    enc2 = enc.with_derived(DerivedFeature("one", lambda s, c: 1.0))
+    assert enc.n_features == 2
+    assert enc2.n_features == 3
+
+
+def test_component_footprint_features():
+    comp = ParameterSpace(
+        (int_range("procs", 2, 100), int_range("ppn", 1, 35),
+         int_range("threads", 1, 4))
+    )
+    joint = join_spaces([("sim", comp)])
+    feats = component_footprint_features(
+        "sim", ("sim.procs",), "sim.ppn", "sim.threads"
+    )
+    names = [f.name for f in feats]
+    assert names == ["sim.total_procs", "sim.nodes", "sim.cores_used"]
+    config = (70, 35, 2)
+    values = {f.name: f(joint, config) for f in feats}
+    assert values["sim.total_procs"] == 70
+    assert values["sim.nodes"] == 2
+    assert values["sim.cores_used"] == 70
+
+
+def test_footprint_product_procs():
+    grid = ParameterSpace(
+        (int_range("px", 2, 8), int_range("py", 2, 8), int_range("ppn", 1, 35))
+    )
+    joint = join_spaces([("heat", grid)])
+    feats = component_footprint_features(
+        "heat", ("heat.px", "heat.py"), "heat.ppn"
+    )
+    values = {f.name: f(joint, (4, 6, 10)) for f in feats}
+    assert values["heat.total_procs"] == 24
+    assert values["heat.nodes"] == 3  # ceil(24/10)

@@ -1,0 +1,110 @@
+"""Tests for the budgeted collector."""
+
+import numpy as np
+import pytest
+
+from repro.core.collector import BudgetExhausted, Collector
+from repro.core.objectives import COMPUTER_TIME, EXECUTION_TIME
+
+
+@pytest.fixture()
+def collector(lv_pool, lv_histories):
+    return Collector(
+        pool=lv_pool,
+        objective=EXECUTION_TIME,
+        histories=lv_histories,
+        budget_runs=10,
+    )
+
+
+class TestWorkflowRuns:
+    def test_measure_returns_objective_values(self, collector, lv_pool):
+        configs = lv_pool.configs[:3]
+        result = collector.measure(configs)
+        for config in configs:
+            assert result[config] == lv_pool.lookup(config).execution_seconds
+        assert collector.runs_used == 3
+
+    def test_budget_enforced(self, collector, lv_pool):
+        collector.measure(lv_pool.configs[:10])
+        with pytest.raises(BudgetExhausted):
+            collector.measure(lv_pool.configs[10:11])
+
+    def test_remeasure_rejected(self, collector, lv_pool):
+        collector.measure(lv_pool.configs[:1])
+        with pytest.raises(ValueError, match="already measured"):
+            collector.measure(lv_pool.configs[:1])
+
+    def test_cost_accumulates_both_units(self, collector, lv_pool):
+        configs = lv_pool.configs[:2]
+        collector.measure(configs)
+        expected_exec = sum(lv_pool.lookup(c).execution_seconds for c in configs)
+        expected_ch = sum(lv_pool.lookup(c).computer_core_hours for c in configs)
+        assert collector.cost_execution_seconds == pytest.approx(expected_exec)
+        assert collector.cost_core_hours == pytest.approx(expected_ch)
+        assert collector.cost(EXECUTION_TIME) == collector.cost_execution_seconds
+        assert collector.cost(COMPUTER_TIME) == collector.cost_core_hours
+
+    def test_measurement_of_requires_measured(self, collector, lv_pool):
+        with pytest.raises(KeyError):
+            collector.measurement_of(lv_pool.configs[0])
+        collector.measure(lv_pool.configs[:1])
+        m = collector.measurement_of(lv_pool.configs[0])
+        assert m.config == lv_pool.configs[0]
+
+
+class TestComponentRuns:
+    def test_batches_charged_as_runs(self, collector):
+        rng = np.random.default_rng(0)
+        data = collector.measure_components(4, rng)
+        assert collector.runs_used == 4
+        assert set(data) == {"lammps", "voro"}
+        for batch in data.values():
+            assert len(batch.configs) == 4
+
+    def test_component_cost_counted(self, collector):
+        rng = np.random.default_rng(0)
+        data = collector.measure_components(3, rng)
+        expected = sum(b.execution_seconds.sum() for b in data.values())
+        assert collector.cost_execution_seconds == pytest.approx(expected)
+
+    def test_zero_batches_free(self, collector):
+        rng = np.random.default_rng(0)
+        assert collector.measure_components(0, rng) == {}
+        assert collector.runs_used == 0
+
+    def test_too_many_batches_rejected(self, collector):
+        rng = np.random.default_rng(0)
+        with pytest.raises(BudgetExhausted):
+            collector.measure_components(11, rng)
+
+    def test_free_history_uncharged(self, collector):
+        data = collector.free_component_history()
+        assert collector.runs_used == 0
+        assert len(data["lammps"].configs) == 120
+
+    def test_no_histories_raises(self, lv_pool):
+        collector = Collector(pool=lv_pool, objective=EXECUTION_TIME)
+        with pytest.raises(RuntimeError, match="histories"):
+            collector.measure_components(2, np.random.default_rng(0))
+
+
+class TestFaultInjection:
+    def test_failures_charge_but_yield_nothing(self, lv_pool, lv_histories):
+        collector = Collector(
+            pool=lv_pool,
+            objective=EXECUTION_TIME,
+            histories=lv_histories,
+            budget_runs=100,
+            failure_rate=0.5,
+            failure_seed=1,
+        )
+        result = collector.measure(lv_pool.configs[:60])
+        assert collector.runs_used == 60
+        assert collector.failures > 5
+        assert len(result) == 60 - collector.failures
+        assert collector.cost_execution_seconds > 0
+
+    def test_invalid_rate(self, lv_pool):
+        with pytest.raises(ValueError):
+            Collector(pool=lv_pool, objective=EXECUTION_TIME, failure_rate=1.5)

@@ -1,0 +1,77 @@
+"""Tests for the §7.2 evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import (
+    least_number_of_uses,
+    mdape_on_top_fraction,
+    recall_curve,
+    recall_score,
+)
+
+
+class TestRecallScore:
+    def test_perfect_model(self):
+        truth = np.array([3.0, 1.0, 2.0, 5.0, 4.0])
+        assert recall_score(truth, truth, 1) == 100.0
+        assert recall_score(truth, truth, 3) == 100.0
+
+    def test_anti_model(self):
+        truth = np.arange(10.0)
+        assert recall_score(-truth, truth, 3) == 0.0
+
+    def test_partial(self):
+        truth = np.array([1.0, 2.0, 3.0, 4.0])
+        model = np.array([1.0, 4.0, 2.0, 3.0])
+        # model top-2 {0,2}; truth top-2 {0,1} -> 50%
+        assert recall_score(model, truth, 2) == 50.0
+
+    def test_curve_shape(self):
+        truth = np.arange(20.0)
+        curve = recall_curve(truth, truth, 9)
+        assert curve.shape == (9,)
+        assert (curve == 100.0).all()
+
+    def test_curve_invalid_n(self):
+        with pytest.raises(ValueError):
+            recall_curve(np.ones(3), np.ones(3), 0)
+
+
+class TestMdapeTopFraction:
+    def test_all_matches_plain_mdape(self):
+        truth = np.array([10.0, 20.0, 40.0])
+        pred = np.array([11.0, 22.0, 44.0])
+        assert mdape_on_top_fraction(pred, truth, None) == pytest.approx(10.0)
+
+    def test_top_fraction_selects_best_configs(self):
+        truth = np.array([1.0, 2.0, 100.0, 200.0])
+        pred = np.array([1.1, 2.2, 200.0, 400.0])  # 10% on top, 100% on rest
+        top_half = mdape_on_top_fraction(pred, truth, 0.5)
+        assert top_half == pytest.approx(10.0)
+        overall = mdape_on_top_fraction(pred, truth, None)
+        assert overall > top_half
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            mdape_on_top_fraction(np.ones(3), np.ones(3), 1.5)
+
+    def test_misaligned(self):
+        with pytest.raises(ValueError):
+            mdape_on_top_fraction(np.ones(3), np.ones(4), None)
+
+
+class TestPracticality:
+    def test_basic_ratio(self):
+        # cost 100, improves 28.0 -> 24.6 per run
+        assert least_number_of_uses(100.0, 24.6, 28.0) == pytest.approx(
+            100.0 / 3.4
+        )
+
+    def test_no_improvement_is_infinite(self):
+        assert least_number_of_uses(10.0, 5.0, 5.0) == float("inf")
+        assert least_number_of_uses(10.0, 6.0, 5.0) == float("inf")
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            least_number_of_uses(-1.0, 1.0, 2.0)

@@ -1,0 +1,82 @@
+"""Tests for the model-switch detector (Alg. 1 lines 16–24)."""
+
+import numpy as np
+import pytest
+
+from repro.core.model_switch import ModelSwitchDetector
+
+
+def test_untrained_high_fidelity_never_switches():
+    detector = ModelSwitchDetector()
+    values = np.array([1.0, 2.0, 3.0])
+    decision = detector.evaluate(values, None, values, None, values)
+    assert not decision.switch
+    assert decision.s_high == float("-inf")
+    assert not detector.switched
+
+
+def test_switches_when_high_fidelity_wins():
+    detector = ModelSwitchDetector()
+    values = np.array([1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+    good = values.copy()  # perfect ranking
+    bad = -values  # inverted
+    decision = detector.evaluate(bad, good, values, good, values)
+    assert decision.switch
+    assert decision.s_high > decision.s_low
+    assert detector.switched
+
+
+def test_no_switch_on_zero_recall_tie():
+    """Both models scoring zero recall must not trigger the switch."""
+    detector = ModelSwitchDetector()
+    values = np.arange(1.0, 9.0)
+    inverted = -values
+    decision = detector.evaluate(inverted, inverted, values, inverted, values)
+    assert decision.s_high == decision.s_low == 0.0
+    assert not decision.switch
+
+
+def test_low_fidelity_retains_when_better():
+    detector = ModelSwitchDetector()
+    values = np.array([1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+    perfect = values.copy()
+    noisy = values[::-1].copy()
+    decision = detector.evaluate(perfect, noisy, values, noisy, values)
+    assert not decision.switch
+
+
+def test_detector_single_use():
+    detector = ModelSwitchDetector()
+    values = np.array([1.0, 2.0, 3.0])
+    detector.evaluate(values, values, values, values, values)
+    assert detector.switched
+    with pytest.raises(RuntimeError):
+        detector.evaluate(values, values, values, values, values)
+
+
+class TestBiasGuard:
+    def test_biased_model_triggers_injection(self):
+        detector = ModelSwitchDetector()
+        batch_values = np.arange(1.0, 7.0)
+        # High-fidelity loves the measured *worst* configurations.
+        all_values = np.arange(1.0, 13.0)
+        all_high = -all_values  # rates worst as best
+        decision = detector.evaluate(
+            batch_values, -batch_values, batch_values, all_high, all_values
+        )
+        assert decision.inject_random
+
+    def test_aligned_model_no_injection(self):
+        detector = ModelSwitchDetector()
+        batch_values = np.arange(1.0, 7.0)
+        all_values = np.arange(1.0, 13.0)
+        decision = detector.evaluate(
+            batch_values, batch_values, batch_values, all_values, all_values
+        )
+        assert not decision.inject_random
+
+    def test_small_samples_skip_guard(self):
+        detector = ModelSwitchDetector()
+        values = np.array([1.0, 2.0, 3.0])
+        decision = detector.evaluate(values, -values, values, -values, values)
+        assert not decision.inject_random  # fewer than 6 measured

@@ -1,0 +1,38 @@
+"""Tests for objectives and their ACM combination functions."""
+
+import numpy as np
+import pytest
+
+from repro.core.objectives import (
+    COMPUTER_TIME,
+    EXECUTION_TIME,
+    Objective,
+    get_objective,
+)
+
+
+def test_execution_time_uses_max():
+    matrix = np.array([[1.0, 5.0], [3.0, 2.0]])
+    np.testing.assert_array_equal(EXECUTION_TIME.combine(matrix), [3.0, 5.0])
+
+
+def test_computer_time_uses_sum():
+    matrix = np.array([[1.0, 5.0], [3.0, 2.0]])
+    np.testing.assert_array_equal(COMPUTER_TIME.combine(matrix), [4.0, 7.0])
+
+
+def test_combine_requires_matrix():
+    with pytest.raises(ValueError):
+        EXECUTION_TIME.combine(np.array([1.0, 2.0]))
+
+
+def test_invalid_combine_name():
+    with pytest.raises(ValueError):
+        Objective("x", "mean", "s")
+
+
+def test_get_objective():
+    assert get_objective("execution_time") is EXECUTION_TIME
+    assert get_objective("computer_time") is COMPUTER_TIME
+    with pytest.raises(ValueError):
+        get_objective("energy")

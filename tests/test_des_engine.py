@@ -1,0 +1,235 @@
+"""Unit tests for the DES engine (events, processes, time)."""
+
+import pytest
+
+from repro.des import AllOf, Environment, Event, Interrupt, Timeout
+from repro.des.engine import EmptySchedule
+
+
+class TestEvent:
+    def test_succeed_carries_value(self):
+        env = Environment()
+        ev = env.event()
+        ev.succeed(42)
+        env.run()
+        assert ev.processed and ev.ok and ev.value == 42
+
+    def test_double_trigger_rejected(self):
+        env = Environment()
+        ev = env.event()
+        ev.succeed()
+        with pytest.raises(RuntimeError):
+            ev.succeed()
+
+    def test_fail_requires_exception(self):
+        env = Environment()
+        with pytest.raises(TypeError):
+            env.event().fail("not an exception")
+
+    def test_value_before_trigger_raises(self):
+        env = Environment()
+        with pytest.raises(RuntimeError):
+            _ = env.event().value
+
+
+class TestTimeout:
+    def test_advances_clock(self):
+        env = Environment()
+        env.timeout(5.0)
+        env.run()
+        assert env.now == 5.0
+
+    def test_negative_delay_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            env.timeout(-1.0)
+
+    def test_ordering_is_chronological(self):
+        env = Environment()
+        seen = []
+        for delay in (3.0, 1.0, 2.0):
+            t = env.timeout(delay, value=delay)
+            t.callbacks.append(lambda ev: seen.append(ev.value))
+        env.run()
+        assert seen == [1.0, 2.0, 3.0]
+
+    def test_fifo_ties_at_same_instant(self):
+        env = Environment()
+        seen = []
+        for tag in "abc":
+            t = env.timeout(1.0, value=tag)
+            t.callbacks.append(lambda ev: seen.append(ev.value))
+        env.run()
+        assert seen == ["a", "b", "c"]
+
+
+class TestRun:
+    def test_run_until_time(self):
+        env = Environment()
+        env.timeout(1.0)
+        env.timeout(10.0)
+        env.run(until=5.0)
+        assert env.now == 5.0
+
+    def test_run_until_past_rejected(self):
+        env = Environment()
+        env.timeout(10.0)
+        env.run(until=5.0)
+        with pytest.raises(ValueError):
+            env.run(until=1.0)
+
+    def test_step_on_empty_raises(self):
+        with pytest.raises(EmptySchedule):
+            Environment().step()
+
+    def test_run_until_event_returns_value(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(2.0)
+            return "done"
+
+        p = env.process(proc())
+        assert env.run(p) == "done"
+        assert env.now == 2.0
+
+    def test_run_until_event_deadlock_detected(self):
+        env = Environment()
+        never = env.event()
+
+        def proc():
+            yield never
+
+        p = env.process(proc())
+        with pytest.raises(RuntimeError, match="deadlock"):
+            env.run(p)
+
+
+class TestProcess:
+    def test_sequential_timeouts(self):
+        env = Environment()
+        times = []
+
+        def proc():
+            for _ in range(3):
+                yield env.timeout(1.0)
+                times.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert times == [1.0, 2.0, 3.0]
+
+    def test_processes_interleave(self):
+        env = Environment()
+        order = []
+
+        def proc(tag, delay):
+            yield env.timeout(delay)
+            order.append(tag)
+
+        env.process(proc("slow", 2.0))
+        env.process(proc("fast", 1.0))
+        env.run()
+        assert order == ["fast", "slow"]
+
+    def test_yield_non_event_fails_process(self):
+        env = Environment()
+
+        def proc():
+            yield 42
+
+        p = env.process(proc())
+        with pytest.raises(TypeError):
+            env.run(p)
+
+    def test_exception_propagates_to_waiter(self):
+        env = Environment()
+
+        def failing():
+            yield env.timeout(1.0)
+            raise ValueError("boom")
+
+        def waiter():
+            with pytest.raises(ValueError, match="boom"):
+                yield env.process(failing())
+            return "handled"
+
+        p = env.process(waiter())
+        assert env.run(p) == "handled"
+
+    def test_requires_generator(self):
+        env = Environment()
+        with pytest.raises(TypeError):
+            env.process(lambda: None)
+
+    def test_process_value_is_return(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(1.0)
+            return 7
+
+        p = env.process(proc())
+        env.run()
+        assert p.value == 7
+
+    def test_interrupt_wakes_process(self):
+        env = Environment()
+        log = []
+
+        def sleeper():
+            try:
+                yield env.timeout(100.0)
+                log.append("overslept")
+            except Interrupt as exc:
+                log.append(("interrupted", exc.cause, env.now))
+
+        def interrupter(target):
+            yield env.timeout(1.0)
+            target.interrupt("wake up")
+
+        p = env.process(sleeper())
+        env.process(interrupter(p))
+        env.run(p)
+        assert log == [("interrupted", "wake up", 1.0)]
+
+    def test_interrupt_finished_process_rejected(self):
+        env = Environment()
+
+        def quick():
+            yield env.timeout(0.0)
+
+        p = env.process(quick())
+        env.run()
+        with pytest.raises(RuntimeError):
+            p.interrupt()
+
+
+class TestAllOf:
+    def test_waits_for_all(self):
+        env = Environment()
+        a = env.timeout(1.0, value="a")
+        b = env.timeout(3.0, value="b")
+        all_ev = AllOf(env, [a, b])
+        env.run(all_ev)
+        assert env.now == 3.0
+        assert all_ev.value == ["a", "b"]
+
+    def test_empty_fires_immediately(self):
+        env = Environment()
+        all_ev = AllOf(env, [])
+        env.run()
+        assert all_ev.processed and all_ev.value == []
+
+    def test_failure_propagates(self):
+        env = Environment()
+
+        def failing():
+            yield env.timeout(1.0)
+            raise RuntimeError("bad")
+
+        p = env.process(failing())
+        ok = env.timeout(5.0)
+        all_ev = env.all_of([p, ok])
+        with pytest.raises(RuntimeError, match="bad"):
+            env.run(all_ev)

@@ -1,0 +1,101 @@
+"""Property-based tests of the DES engine (hypothesis)."""
+
+import heapq
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.des import Environment, Store
+
+
+@given(delays=st.lists(st.floats(0.0, 100.0), min_size=1, max_size=40))
+@settings(max_examples=60, deadline=None)
+def test_events_fire_in_nondecreasing_time(delays):
+    """Regardless of scheduling order, callbacks see monotone time."""
+    env = Environment()
+    seen = []
+    for d in delays:
+        t = env.timeout(d)
+        t.callbacks.append(lambda ev: seen.append(env.now))
+    env.run()
+    assert seen == sorted(seen)
+    assert len(seen) == len(delays)
+    assert env.now == max(delays)
+
+
+@given(delays=st.lists(st.floats(0.0, 50.0), min_size=1, max_size=20))
+@settings(max_examples=40, deadline=None)
+def test_sequential_process_time_is_sum(delays):
+    """A process sleeping through n timeouts finishes at their sum."""
+    env = Environment()
+
+    def proc():
+        for d in delays:
+            yield env.timeout(d)
+
+    p = env.process(proc())
+    env.run(p)
+    assert env.now <= sum(delays) + 1e-9
+    assert abs(env.now - sum(delays)) < 1e-6 * max(1.0, sum(delays))
+
+
+@given(
+    items=st.lists(st.integers(), min_size=1, max_size=30),
+    capacity=st.integers(1, 5),
+    prod_delay=st.floats(0.0, 2.0),
+    cons_delay=st.floats(0.0, 2.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_store_preserves_order_and_conservation(
+    items, capacity, prod_delay, cons_delay
+):
+    """Every put item is got exactly once, in FIFO order, for any rates."""
+    env = Environment()
+    store = Store(env, capacity=capacity)
+    received = []
+
+    def producer():
+        for item in items:
+            yield env.timeout(prod_delay)
+            yield store.put(item)
+
+    def consumer():
+        for _ in items:
+            got = yield store.get()
+            yield env.timeout(cons_delay)
+            received.append(got)
+
+    env.process(producer())
+    done = env.process(consumer())
+    env.run(done)
+    assert received == items
+    assert len(store) == 0
+
+
+@given(
+    rates=st.lists(
+        st.tuples(st.floats(0.1, 3.0), st.floats(0.1, 3.0)), min_size=1, max_size=8
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_pipeline_never_faster_than_slowest_stage(rates):
+    """End-to-end time of a 2-stage pipeline >= n * slowest stage rate."""
+    env = Environment()
+    n = 5
+    for prod_t, cons_t in rates[:1]:
+        store = Store(env, capacity=2)
+
+        def producer(store=store, dt=prod_t):
+            for i in range(n):
+                yield env.timeout(dt)
+                yield store.put(i)
+
+        def consumer(store=store, dt=cons_t):
+            for _ in range(n):
+                yield store.get()
+                yield env.timeout(dt)
+
+        env.process(producer())
+        done = env.process(consumer())
+        env.run(done)
+        assert env.now >= n * max(prod_t, cons_t) - 1e-9

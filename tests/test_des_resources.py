@@ -1,0 +1,138 @@
+"""Unit tests for DES stores and resources (blocking semantics)."""
+
+import pytest
+
+from repro.des import Environment, Resource, Store
+
+
+class TestStore:
+    def test_fifo_order(self):
+        env = Environment()
+        store = Store(env)
+        received = []
+
+        def producer():
+            for i in range(3):
+                yield store.put(i)
+
+        def consumer():
+            for _ in range(3):
+                item = yield store.get()
+                received.append(item)
+
+        env.process(producer())
+        c = env.process(consumer())
+        env.run(c)
+        assert received == [0, 1, 2]
+
+    def test_put_blocks_when_full(self):
+        env = Environment()
+        store = Store(env, capacity=1)
+        timeline = []
+
+        def producer():
+            yield store.put("a")
+            timeline.append(("a in", env.now))
+            yield store.put("b")  # blocks until consumer frees a slot
+            timeline.append(("b in", env.now))
+
+        def consumer():
+            yield env.timeout(5.0)
+            yield store.get()
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert timeline[0] == ("a in", 0.0)
+        assert timeline[1][1] == 5.0  # b entered only after the get
+
+    def test_get_blocks_when_empty(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def consumer():
+            item = yield store.get()
+            got.append((item, env.now))
+
+        def producer():
+            yield env.timeout(3.0)
+            yield store.put("x")
+
+        env.process(consumer())
+        env.process(producer())
+        env.run()
+        assert got == [("x", 3.0)]
+
+    def test_capacity_validation(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            Store(env, capacity=0)
+
+    def test_len_and_is_full(self):
+        env = Environment()
+        store = Store(env, capacity=2)
+        store.put(1)
+        store.put(2)
+        env.run()
+        assert len(store) == 2 and store.is_full
+
+    def test_throughput_bounded_by_consumer(self):
+        """With a bounded buffer the pipeline runs at the slow stage's rate."""
+        env = Environment()
+        store = Store(env, capacity=2)
+        n = 10
+
+        def producer():
+            for i in range(n):
+                yield env.timeout(1.0)  # fast stage
+                yield store.put(i)
+
+        def consumer():
+            for _ in range(n):
+                yield store.get()
+                yield env.timeout(3.0)  # slow stage
+
+        env.process(producer())
+        c = env.process(consumer())
+        env.run(c)
+        # Steady state = n * slow rate, plus initial fill.
+        assert env.now == pytest.approx(1.0 + 3.0 * n)
+
+
+class TestResource:
+    def test_grants_up_to_capacity(self):
+        env = Environment()
+        res = Resource(env, capacity=2)
+        granted = []
+
+        def worker(tag):
+            yield res.request()
+            granted.append((tag, env.now))
+            yield env.timeout(2.0)
+            res.release()
+
+        for tag in "abc":
+            env.process(worker(tag))
+        env.run()
+        by_tag = dict(granted)
+        assert by_tag["a"] == 0.0 and by_tag["b"] == 0.0
+        assert by_tag["c"] == 2.0  # queued behind the first two
+
+    def test_release_without_request_rejected(self):
+        env = Environment()
+        res = Resource(env)
+        with pytest.raises(RuntimeError):
+            res.release()
+
+    def test_capacity_validation(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            Resource(env, capacity=0)
+
+    def test_available_accounting(self):
+        env = Environment()
+        res = Resource(env, capacity=3)
+        res.request()
+        env.run()
+        assert res.available == 2

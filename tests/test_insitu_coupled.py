@@ -1,0 +1,89 @@
+"""Tests for coupled in-situ execution (DES runs of real workflows)."""
+
+import pytest
+
+from repro.insitu.coupled import run_coupled
+from repro.workflows.catalog import expert_config
+
+
+class TestCoupledRun:
+    def test_all_components_finish(self, lv):
+        result = run_coupled(lv, expert_config("LV", "execution_time"))
+        assert set(result.component_seconds) == {"lammps", "voro"}
+        assert result.steps == 20
+
+    def test_execution_is_max_component(self, lv):
+        result = run_coupled(lv, expert_config("LV", "execution_time"))
+        assert result.execution_seconds == max(result.component_seconds.values())
+
+    def test_consumer_finishes_after_producer_starts_streaming(self, lv):
+        result = run_coupled(lv, expert_config("LV", "execution_time"))
+        # The consumer cannot finish before the producer has produced all
+        # steps, so its wall-clock is at least the producer's minus noise.
+        assert (
+            result.component_seconds["voro"]
+            >= result.component_seconds["lammps"] - 1e-9
+            or result.busy_seconds["voro"] > 0
+        )
+
+    def test_stall_nonnegative(self, lv):
+        result = run_coupled(lv, expert_config("LV", "execution_time"))
+        for label in lv.labels:
+            assert result.stall_seconds(label) >= -1e-6
+
+    def test_coupled_at_least_bottleneck(self, lv):
+        """Coupled exec >= the slowest component's own busy time."""
+        result = run_coupled(lv, expert_config("LV", "execution_time"))
+        assert result.execution_seconds >= max(result.busy_seconds.values()) - 1e-6
+
+    def test_nodes_are_disjoint_sum(self, lv):
+        config = expert_config("LV", "execution_time")  # 16 + 16 nodes
+        result = run_coupled(lv, config)
+        assert result.nodes == 32
+
+    def test_infeasible_config_rejected(self, lv):
+        # 31 + 31 nodes > 32
+        with pytest.raises(ValueError, match="infeasible"):
+            run_coupled(lv, (1085, 35, 1, 1085, 35, 1))
+
+    def test_invalid_config_rejected(self, lv):
+        with pytest.raises(ValueError):
+            run_coupled(lv, (0, 18, 2, 288, 18, 2))
+
+    def test_deterministic(self, lv):
+        config = expert_config("LV", "computer_time")
+        a = run_coupled(lv, config)
+        b = run_coupled(lv, config)
+        assert a.execution_seconds == b.execution_seconds
+
+    def test_hs_steps_follow_outputs(self, hs):
+        base = list(expert_config("HS", "computer_time"))
+        outputs_pos = hs.space.position("heat.outputs")
+        base[outputs_pos] = 8
+        result = run_coupled(hs, tuple(base))
+        assert result.steps == 8
+
+    def test_hs_larger_buffer_not_slower(self, hs):
+        config = list(expert_config("HS", "computer_time"))
+        buf_pos = hs.space.position("heat.buffer_mb")
+        config[buf_pos] = 1
+        small = run_coupled(hs, tuple(config))
+        config[buf_pos] = 40
+        large = run_coupled(hs, tuple(config))
+        assert large.execution_seconds <= small.execution_seconds * 1.001
+
+    def test_gp_four_components_and_fanout(self, gp):
+        result = run_coupled(gp, expert_config("GP", "computer_time"))
+        assert set(result.component_seconds) == {
+            "gray_scott", "pdf_calc", "gplot", "pplot",
+        }
+        # G-Plot is the serial bottleneck (paper §7.1).
+        assert result.execution_seconds == pytest.approx(
+            result.component_seconds["gplot"]
+        )
+
+    def test_gp_exec_pinned_by_gplot(self, gp, gp_pool):
+        """Many GP configurations share G-Plot-bound execution times."""
+        values = gp_pool.objective_values("execution_time")
+        spread = values.max() / values.min()
+        assert spread < 2.0  # compressed exec landscape, unlike LV/HS

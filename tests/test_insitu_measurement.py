@@ -1,0 +1,62 @@
+"""Tests for workflow measurement (objectives, noise, determinism)."""
+
+import numpy as np
+import pytest
+
+from repro.insitu.measurement import measure_workflow, stable_seed
+from repro.workflows.catalog import expert_config
+
+
+class TestStableSeed:
+    def test_deterministic(self):
+        assert stable_seed("a", (1, 2)) == stable_seed("a", (1, 2))
+
+    def test_distinct_inputs_distinct_seeds(self):
+        assert stable_seed("a") != stable_seed("b")
+
+    def test_64_bit_range(self):
+        s = stable_seed("x", 123)
+        assert 0 <= s < 2**64
+
+
+class TestMeasurement:
+    def test_computer_time_definition(self, lv):
+        m = measure_workflow(lv, expert_config("LV", "execution_time"), noise_sigma=0)
+        expected = m.execution_seconds * m.nodes * lv.machine.node.cores / 3600.0
+        assert m.computer_core_hours == pytest.approx(expected)
+
+    def test_objective_accessor(self, lv):
+        m = measure_workflow(lv, expert_config("LV", "execution_time"), noise_sigma=0)
+        assert m.objective("execution_time") == m.execution_seconds
+        assert m.objective("computer_time") == m.computer_core_hours
+        with pytest.raises(ValueError):
+            m.objective("latency")
+
+    def test_noise_deterministic_per_seed(self, lv):
+        config = expert_config("LV", "execution_time")
+        a = measure_workflow(lv, config, noise_sigma=0.05, noise_seed=1)
+        b = measure_workflow(lv, config, noise_sigma=0.05, noise_seed=1)
+        c = measure_workflow(lv, config, noise_sigma=0.05, noise_seed=2)
+        assert a.execution_seconds == b.execution_seconds
+        assert a.execution_seconds != c.execution_seconds
+
+    def test_noise_centered_on_truth(self, lv):
+        config = expert_config("LV", "execution_time")
+        clean = measure_workflow(lv, config, noise_sigma=0)
+        noisy = [
+            measure_workflow(lv, config, noise_sigma=0.05, noise_seed=s)
+            for s in range(60)
+        ]
+        mean = np.mean([m.execution_seconds for m in noisy])
+        assert mean == pytest.approx(clean.execution_seconds, rel=0.05)
+
+    def test_noise_scales_components_consistently(self, lv):
+        config = expert_config("LV", "execution_time")
+        m = measure_workflow(lv, config, noise_sigma=0.05, noise_seed=3)
+        assert m.execution_seconds == pytest.approx(
+            max(m.component_seconds.values())
+        )
+
+    def test_execution_longest_component(self, lv):
+        m = measure_workflow(lv, expert_config("LV", "execution_time"), noise_sigma=0)
+        assert m.execution_seconds == max(m.component_seconds.values())

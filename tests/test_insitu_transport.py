@@ -1,0 +1,61 @@
+"""Unit tests for the staging transport cost model."""
+
+import pytest
+
+from repro.cluster.allocation import place_component
+from repro.cluster.machine import Machine
+from repro.insitu.transport import StagingChannelModel
+
+MACHINE = Machine()
+
+
+def channel(prod_procs=64, prod_ppn=16, cons_procs=64, cons_ppn=16,
+            message_bytes=1e8, streams=1):
+    return StagingChannelModel(
+        machine=MACHINE,
+        producer=place_component(prod_procs, prod_ppn),
+        consumer=place_component(cons_procs, cons_ppn),
+        message_bytes=message_bytes,
+        concurrent_streams=streams,
+    )
+
+
+class TestPublish:
+    def test_positive_and_scales_with_size(self):
+        small = channel(message_bytes=1e6).publish_seconds()
+        large = channel(message_bytes=1e9).publish_seconds()
+        assert 0 < small < large
+
+    def test_metadata_grows_with_procs(self):
+        few = channel(prod_procs=4, cons_procs=4).publish_seconds()
+        many = channel(prod_procs=1000, prod_ppn=35, cons_procs=1000,
+                       cons_ppn=35).publish_seconds()
+        assert many > few
+
+
+class TestDrain:
+    def test_bandwidth_bounded_by_weakest_link(self):
+        ch = channel()
+        assert ch.channel_gbps() <= MACHINE.fabric_bandwidth_gbps
+        # single-node consumer limits aggregate NIC
+        narrow = channel(cons_procs=2, cons_ppn=2)
+        assert narrow.channel_gbps() <= ch.channel_gbps()
+
+    def test_fabric_sharing_reduces_bandwidth(self):
+        solo = channel(streams=1).channel_gbps()
+        shared = channel(streams=3).channel_gbps()
+        assert shared < solo
+
+    def test_drain_includes_latency_floor(self):
+        ch = channel(message_bytes=0.0)
+        assert ch.drain_seconds() > 0
+
+    def test_decomposition_mismatch_costs(self):
+        matched = channel(prod_procs=64, cons_procs=64).drain_seconds()
+        mismatched = channel(prod_procs=640, prod_ppn=32,
+                             cons_procs=4, cons_ppn=4).drain_seconds()
+        assert mismatched > matched
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            channel(message_bytes=-1)

@@ -1,0 +1,117 @@
+"""Tests for the Gaussian process and k-NN regressors."""
+
+import numpy as np
+import pytest
+
+from repro.ml.gaussian_process import GaussianProcessRegressor
+from repro.ml.neighbors import KNeighborsRegressor
+
+
+@pytest.fixture()
+def data():
+    rng = np.random.default_rng(5)
+    X = rng.uniform(0, 5, size=(80, 3))
+    y = np.exp(0.4 * X[:, 0] + np.sin(X[:, 1])) + 0.5
+    return X, y
+
+
+class TestGaussianProcess:
+    def test_interpolates_training_points(self, data):
+        X, y = data
+        gp = GaussianProcessRegressor(noise=1e-4).fit(X[:30], y[:30])
+        pred = gp.predict(X[:30])
+        assert np.median(np.abs(pred - y[:30]) / y[:30]) < 0.05
+
+    def test_generalizes(self, data):
+        X, y = data
+        gp = GaussianProcessRegressor().fit(X[:60], y[:60])
+        pred = gp.predict(X[60:])
+        assert np.median(np.abs(pred - y[60:]) / y[60:]) < 0.2
+
+    def test_std_positive_and_grows_off_data(self, data):
+        X, y = data
+        gp = GaussianProcessRegressor().fit(X[:40], y[:40])
+        _, std_near = gp.predict(X[:5], return_std=True)
+        far = X[:5] + 50.0
+        _, std_far = gp.predict(far, return_std=True)
+        assert (std_near > 0).all()
+        assert std_far.mean() > std_near.mean()
+
+    def test_latent_space_consistency(self, data):
+        X, y = data
+        gp = GaussianProcessRegressor(log_target=True).fit(X[:40], y[:40])
+        mean, std = gp.predict_latent(X[40:45])
+        assert mean.shape == (5,) and (std > 0).all()
+        np.testing.assert_allclose(gp.to_latent(y[:3]), np.log(y[:3]))
+
+    def test_log_target_requires_positive(self):
+        X = np.ones((5, 2))
+        with pytest.raises(ValueError):
+            GaussianProcessRegressor(log_target=True).fit(X, np.array([1., 2., -1., 4., 5.]))
+
+    def test_without_log_target(self, data):
+        X, y = data
+        gp = GaussianProcessRegressor(log_target=False).fit(X[:40], y[:40])
+        mean, std = gp.predict(X[40:45], return_std=True)
+        assert mean.shape == std.shape == (5,)
+
+    def test_fixed_hyperparameters(self, data):
+        X, y = data
+        gp = GaussianProcessRegressor(length_scale=1.0, noise=1e-2).fit(
+            X[:30], y[:30]
+        )
+        assert gp._ls == 1.0 and gp._nv == 1e-2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GaussianProcessRegressor(kernel="laplace")
+        with pytest.raises(ValueError):
+            GaussianProcessRegressor(noise=-1.0)
+        gp = GaussianProcessRegressor()
+        with pytest.raises(ValueError):
+            gp.fit(np.ones((1, 2)), np.ones(1))
+        with pytest.raises(RuntimeError):
+            gp.predict(np.ones((1, 2)))
+
+    def test_rbf_kernel_works(self, data):
+        X, y = data
+        gp = GaussianProcessRegressor(kernel="rbf").fit(X[:40], y[:40])
+        assert gp.predict(X[40:42]).shape == (2,)
+
+
+class TestKNeighbors:
+    def test_exact_on_training_points(self, data):
+        X, y = data
+        knn = KNeighborsRegressor(k=3, weights="distance").fit(X, y)
+        pred = knn.predict(X[:10])
+        np.testing.assert_allclose(pred, y[:10], rtol=1e-6)
+
+    def test_uniform_weights_average(self):
+        X = np.array([[0.0], [1.0], [10.0]])
+        y = np.array([1.0, 3.0, 100.0])
+        knn = KNeighborsRegressor(k=2, weights="uniform").fit(X, y)
+        # Query at 0.5: neighbours {0, 1} -> mean 2.0
+        assert knn.predict(np.array([[0.5]]))[0] == pytest.approx(2.0)
+
+    def test_kneighbors_sorted_by_distance(self, data):
+        X, y = data
+        knn = KNeighborsRegressor(k=4).fit(X, y)
+        dists, _ = knn.kneighbors(X[:6])
+        assert (np.diff(dists, axis=1) >= -1e-12).all()
+
+    def test_k_capped_by_data(self):
+        X = np.array([[0.0], [1.0]])
+        y = np.array([1.0, 2.0])
+        knn = KNeighborsRegressor(k=10).fit(X, y)
+        assert knn.predict(np.array([[0.5]])).shape == (1,)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KNeighborsRegressor(k=0)
+        with pytest.raises(ValueError):
+            KNeighborsRegressor(weights="cosine")
+        knn = KNeighborsRegressor()
+        with pytest.raises(RuntimeError):
+            knn.predict(np.ones((1, 2)))
+        with pytest.raises(ValueError):
+            knn.fit(np.empty((0, 2)), np.empty(0))

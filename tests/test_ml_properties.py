@@ -1,0 +1,88 @@
+"""Property-based tests of the ML substrate (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.ml.boosting import GradientBoostedTrees
+from repro.ml.metrics import top_n_indices, top_n_overlap
+from repro.ml.tree import RegressionTree
+
+
+finite_targets = arrays(
+    np.float64,
+    st.integers(5, 40),
+    elements=st.floats(-100, 100, allow_nan=False),
+)
+
+
+@given(y=finite_targets, depth=st.integers(0, 5))
+@settings(max_examples=40, deadline=None)
+def test_tree_predictions_bounded_by_targets(y, depth):
+    """Leaf values are means, so predictions never leave [min(y), max(y)]."""
+    rng = np.random.default_rng(0)
+    X = rng.uniform(size=(y.size, 3))
+    tree = RegressionTree(max_depth=depth).fit(X, y)
+    pred = tree.predict(X)
+    assert pred.min() >= y.min() - 1e-8
+    assert pred.max() <= y.max() + 1e-8
+
+
+@given(y=finite_targets)
+@settings(max_examples=25, deadline=None)
+def test_boosting_training_error_nonincreasing_in_rounds(y):
+    """More rounds never increase squared training error (no subsampling)."""
+    rng = np.random.default_rng(1)
+    X = rng.uniform(size=(y.size, 2))
+    errors = []
+    for n in (1, 10, 40):
+        model = GradientBoostedTrees(
+            n_estimators=n, learning_rate=0.3, subsample=1.0, random_state=0
+        ).fit(X, y)
+        errors.append(float(np.mean((model.predict(X) - y) ** 2)))
+    assert errors[0] >= errors[1] - 1e-9
+    assert errors[1] >= errors[2] - 1e-9
+
+
+@given(
+    scores=arrays(
+        np.float64, st.integers(2, 50),
+        elements=st.floats(-1e6, 1e6, allow_nan=False),
+    ),
+    n=st.integers(1, 10),
+)
+@settings(max_examples=60, deadline=None)
+def test_top_n_overlap_self_is_one(scores, n):
+    assert top_n_overlap(scores, scores, n) == 1.0
+
+
+@given(
+    scores=arrays(
+        np.float64, st.integers(2, 50),
+        elements=st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False),
+    ),
+    n=st.integers(1, 10),
+)
+@settings(max_examples=60, deadline=None)
+def test_top_n_indices_are_actually_best(scores, n):
+    idx = top_n_indices(scores, n)
+    k = min(n, scores.size)
+    assert len(idx) == k
+    chosen = np.sort(scores[idx])
+    rest = np.delete(scores, idx)
+    if rest.size:
+        assert chosen[-1] <= rest.min() + 1e-12
+
+
+@given(
+    a=st.lists(st.floats(0.1, 1e3, allow_nan=False), min_size=4, max_size=30),
+    shift=st.floats(0.1, 10.0),
+    scale=st.floats(0.1, 10.0),
+)
+@settings(max_examples=40, deadline=None)
+def test_overlap_invariant_under_monotone_transform(a, shift, scale):
+    """Ranking metrics only see order, not magnitude."""
+    a = np.asarray(a)
+    b = a * scale + shift
+    assert top_n_overlap(a, b, 3) == 1.0

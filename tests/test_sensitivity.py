@@ -1,0 +1,43 @@
+"""Tests for the Fig. 13 sensitivity sweep driver (small scale)."""
+
+import pytest
+
+from repro.core.ceal import CealSettings
+from repro.experiments.sensitivity import fig13_sensitivity, sweep_ceal
+
+
+def test_sweep_ceal_rows():
+    rows = sweep_ceal(
+        [
+            ("I=2", CealSettings(use_history=True, iterations=2)),
+            ("I=4", CealSettings(use_history=True, iterations=4)),
+        ],
+        workflow_name="LV",
+        objective_name="computer_time",
+        budget=12,
+        repeats=2,
+        pool_size=150,
+        seed=7,
+    )
+    assert [r["setting"] for r in rows] == ["I=2", "I=4"]
+    for row in rows:
+        assert row["mean_value"] > 0
+        assert row["std"] >= 0
+        assert row["unit"] == "core-hours"
+
+
+def test_fig13_structure_small():
+    result = fig13_sensitivity(
+        repeats=1,
+        pool_size=150,
+        seed=7,
+        iteration_grid=(1, 2),
+        m0_grid=(0.1, 0.2),
+        mr_grid=(0.5,),
+    )
+    panels = {row["panel"] for row in result.rows}
+    assert panels == {"a:iterations", "b:random_fraction", "c:component_fraction"}
+    # (a) and (b) run both modes, (c) only without histories.
+    assert len([r for r in result.rows if r["panel"] == "a:iterations"]) == 4
+    assert len([r for r in result.rows if r["panel"] == "b:random_fraction"]) == 4
+    assert len([r for r in result.rows if r["panel"] == "c:component_fraction"]) == 1

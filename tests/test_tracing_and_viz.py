@@ -1,0 +1,106 @@
+"""Tests for run tracing and the terminal figure renderers."""
+
+import pytest
+
+from repro.experiments.figures import FigureResult
+from repro.experiments.viz import render_bars, render_figure, render_series
+from repro.insitu import RunTracer, run_coupled
+from repro.insitu.tracing import TraceEvent
+from repro.workflows.catalog import expert_config
+
+
+class TestTraceEvent:
+    def test_duration(self):
+        e = TraceEvent("sim", "compute", 0, 1.0, 3.5)
+        assert e.duration == 2.5
+
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError):
+            TraceEvent("sim", "think", 0, 0.0, 1.0)
+
+    def test_backwards_interval(self):
+        with pytest.raises(ValueError):
+            TraceEvent("sim", "compute", 0, 2.0, 1.0)
+
+
+class TestRunTracer:
+    def test_tracing_does_not_change_results(self, lv):
+        config = expert_config("LV", "execution_time")
+        plain = run_coupled(lv, config)
+        tracer = RunTracer()
+        traced = run_coupled(lv, config, tracer=tracer)
+        assert traced.execution_seconds == plain.execution_seconds
+        assert traced.component_seconds == plain.component_seconds
+        assert tracer.events
+
+    def test_timeline_covers_all_steps(self, lv):
+        config = expert_config("LV", "execution_time")
+        tracer = RunTracer()
+        run_coupled(lv, config, tracer=tracer)
+        computes = tracer.of("lammps", "compute")
+        assert len(computes) == 20  # one per step
+        assert [e.step for e in computes] == list(range(20))
+
+    def test_blocked_seconds_matches_stalls(self, lv):
+        config = expert_config("LV", "execution_time")
+        tracer = RunTracer()
+        result = run_coupled(lv, config, tracer=tracer)
+        for label in lv.labels:
+            assert tracer.blocked_seconds(label) == pytest.approx(
+                result.stall_seconds(label), abs=1e-6
+            )
+
+    def test_summary_and_timeline_sorted(self, lv):
+        config = expert_config("LV", "computer_time")
+        tracer = RunTracer()
+        run_coupled(lv, config, tracer=tracer)
+        summary = tracer.summary()
+        assert set(summary) == set(lv.labels)
+        timeline = tracer.timeline("voro")
+        starts = [e.start for e in timeline]
+        assert starts == sorted(starts)
+
+
+class TestViz:
+    def test_render_bars_basic(self):
+        rows = [
+            {"algorithm": "RS", "normalized": 1.4},
+            {"algorithm": "CEAL", "normalized": 1.0},
+        ]
+        text = render_bars(rows, ("algorithm",), "normalized", baseline=1.0)
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert "RS" in lines[0] and "CEAL" in lines[1]
+        # RS bar longer than CEAL's.
+        assert lines[0].count("█") > lines[1].count("█")
+
+    def test_render_bars_handles_inf(self):
+        rows = [{"a": "x", "v": float("inf")}, {"a": "y", "v": 2.0}]
+        text = render_bars(rows, ("a",), "v")
+        assert "(inf)" in text
+
+    def test_render_bars_empty(self):
+        assert render_bars([], ("a",), "v") == "(no rows)"
+
+    def test_render_series_grid(self):
+        rows = [
+            {"algorithm": algo, "top_n": n, "recall_pct": pct}
+            for algo, base in (("CEAL", 80), ("RS", 10))
+            for n, pct in ((1, base), (2, base + 5), (3, base + 10))
+        ]
+        text = render_series(rows, "algorithm", "top_n", "recall_pct", y_max=100)
+        assert "A=CEAL" in text and "B=RS" in text
+        assert "|" in text
+
+    def test_render_figure_dispatch(self):
+        recall = FigureResult("Fig. X", "recall", [
+            {"algorithm": "CEAL", "top_n": 1, "recall_pct": 50.0},
+            {"algorithm": "RS", "top_n": 1, "recall_pct": 5.0},
+        ])
+        assert "A=CEAL" in render_figure(recall)
+        bars = FigureResult("Fig. Y", "bars", [
+            {"workflow": "LV", "algorithm": "RS", "normalized": 1.2},
+        ])
+        assert "█" in render_figure(bars)
+        table = FigureResult("Fig. Z", "plain", [{"x": 1}])
+        assert "Fig. Z" in render_figure(table)
