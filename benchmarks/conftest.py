@@ -10,6 +10,11 @@ evaluation and prints the reproduced rows.  Scale knobs (the paper uses
     Measured-pool size (default 600).
 ``REPRO_BENCH_SEED``
     Base seed (default 2021).
+``REPRO_BENCH_JOBS``
+    Worker processes per trial fan-out (default "auto" = one per CPU;
+    results are bit-identical to serial, so parallelism only changes
+    wall-clock).  Set ``REPRO_CACHE_DIR`` as well to warm-start pool
+    and history generation across benchmark invocations.
 """
 
 from __future__ import annotations
@@ -21,12 +26,13 @@ import pytest
 REPEATS = int(os.environ.get("REPRO_BENCH_REPEATS", "4"))
 POOL = int(os.environ.get("REPRO_BENCH_POOL", "1000"))
 SEED = int(os.environ.get("REPRO_BENCH_SEED", "2021"))
+JOBS = os.environ.get("REPRO_BENCH_JOBS", "auto")
 
 
 @pytest.fixture(scope="session")
 def scale():
     """Bench scale knobs."""
-    return {"repeats": REPEATS, "pool_size": POOL, "seed": SEED}
+    return {"repeats": REPEATS, "pool_size": POOL, "seed": SEED, "jobs": JOBS}
 
 
 def emit(result) -> None:

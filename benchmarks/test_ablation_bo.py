@@ -9,12 +9,15 @@ BO), and the bootstrapped variants are the strongest arms overall.
 """
 
 import numpy as np
+import pytest
 from conftest import emit
 
 from repro.core.algorithms import ActiveLearning, BayesianOptimization
 from repro.core.ceal import Ceal, CealSettings
 from repro.experiments import AlgorithmSpec, run_trials, summarize
 from repro.experiments.figures import FigureResult
+
+pytestmark = pytest.mark.slow
 
 
 def test_ablation_bayesian_optimization(benchmark, scale):
@@ -37,6 +40,7 @@ def test_ablation_bayesian_optimization(benchmark, scale):
                 repeats=scale["repeats"],
                 pool_size=scale["pool_size"],
                 pool_seed=scale["seed"],
+                jobs=scale["jobs"],
             )
         )
 

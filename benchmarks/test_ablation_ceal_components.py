@@ -14,12 +14,15 @@ alone "lacks the accuracy required for auto-tuning").
 """
 
 import numpy as np
+import pytest
 from conftest import emit
 
 from repro.core.algorithms import LowFidelityOnly
 from repro.core.ceal import Ceal, CealSettings
 from repro.experiments import AlgorithmSpec, run_trials, summarize
 from repro.experiments.figures import FigureResult
+
+pytestmark = pytest.mark.slow
 
 
 def test_ablation_ceal_components(benchmark, scale):
@@ -47,6 +50,7 @@ def test_ablation_ceal_components(benchmark, scale):
             repeats=scale["repeats"],
             pool_size=scale["pool_size"],
             pool_seed=scale["seed"],
+            jobs=scale["jobs"],
         )
         return summarize(trials)
 

@@ -8,6 +8,7 @@ the numbers here make that argument concrete.
 """
 
 import numpy as np
+import pytest
 from conftest import emit
 
 from repro.core.collector import ComponentBatchData
@@ -22,6 +23,8 @@ from repro.insitu.measurement import stable_seed
 from repro.workflows import generate_component_history, generate_pool, make_lv
 
 import numpy as _np
+
+pytestmark = pytest.mark.slow
 
 
 def test_ablation_ensembles(benchmark, scale):

@@ -10,6 +10,7 @@ the tuner's recommendation (evaluated noise-free) improves or holds.
 """
 
 import numpy as np
+import pytest
 from conftest import emit
 
 from repro.core.ceal import Ceal, CealSettings
@@ -18,6 +19,8 @@ from repro.core.problem import TuningProblem
 from repro.experiments.figures import FigureResult
 from repro.insitu import measure_workflow
 from repro.workflows import generate_component_history, generate_pool, make_lv
+
+pytestmark = pytest.mark.slow
 
 
 def test_ablation_noise_replication(benchmark, scale):

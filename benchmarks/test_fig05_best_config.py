@@ -5,9 +5,12 @@ and AL across workflows and budgets (improvements of 10–72 %).
 """
 
 import numpy as np
+import pytest
 from conftest import emit, mean_by
 
 from repro.experiments import fig05_best_config
+
+pytestmark = pytest.mark.slow
 
 
 def test_fig05_best_config(benchmark, scale):

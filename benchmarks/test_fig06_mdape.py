@@ -7,9 +7,12 @@ bootstrapping method.
 """
 
 import numpy as np
+import pytest
 from conftest import emit, mean_by
 
 from repro.experiments import fig06_mdape
+
+pytestmark = pytest.mark.slow
 
 
 def test_fig06_mdape(benchmark, scale):

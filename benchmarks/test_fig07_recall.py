@@ -5,9 +5,12 @@ cases; RS's top-1 recall is near zero.
 """
 
 import numpy as np
+import pytest
 from conftest import emit, mean_by
 
 from repro.experiments import fig07_recall
+
+pytestmark = pytest.mark.slow
 
 
 def test_fig07_recall(benchmark, scale):

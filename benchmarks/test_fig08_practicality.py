@@ -6,9 +6,12 @@ subsequent workflow runs than AL to recoup its tuning cost (LV: 716 vs
 """
 
 import numpy as np
+import pytest
 from conftest import emit
 
 from repro.experiments import fig08_practicality
+
+pytestmark = pytest.mark.slow
 
 
 def test_fig08_practicality(benchmark, scale):

@@ -5,9 +5,12 @@ cases (e.g. at 25 samples, LV −7.8 %, HS −38.9 %, GP −6.6 % computer
 time).
 """
 
+import pytest
 from conftest import emit, mean_by
 
 from repro.experiments import fig09_history_effect
+
+pytestmark = pytest.mark.slow
 
 
 def test_fig09_history_effect(benchmark, scale):

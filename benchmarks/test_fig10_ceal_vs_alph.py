@@ -5,9 +5,12 @@ configurations beat ALpH's in all cases (e.g. at 25 samples the
 computer times of LV/HS/GP are 14.7 %, 32.6 %, 5.6 % lower).
 """
 
+import pytest
 from conftest import emit, mean_by
 
 from repro.experiments import fig10_ceal_vs_alph
+
+pytestmark = pytest.mark.slow
 
 
 def test_fig10_ceal_vs_alph(benchmark, scale):

@@ -5,9 +5,12 @@ with 25 samples CEAL's best-1/2/3 recall reaches 100 %.
 """
 
 import numpy as np
+import pytest
 from conftest import emit, mean_by
 
 from repro.experiments import fig11_alph_recall
+
+pytestmark = pytest.mark.slow
 
 
 def test_fig11_alph_recall(benchmark, scale):

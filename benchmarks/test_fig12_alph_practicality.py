@@ -5,9 +5,12 @@ than ALpH (e.g. 164 runs for LV execution time at 50 samples).
 """
 
 import numpy as np
+import pytest
 from conftest import emit
 
 from repro.experiments import fig12_alph_practicality
+
+pytestmark = pytest.mark.slow
 
 
 def test_fig12_alph_practicality(benchmark, scale):

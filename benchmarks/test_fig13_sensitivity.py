@@ -6,9 +6,12 @@ fraction mR/m.
 """
 
 import numpy as np
+import pytest
 from conftest import emit
 
 from repro.experiments import fig13_sensitivity
+
+pytestmark = pytest.mark.slow
 
 
 def test_fig13_sensitivity(benchmark, scale):
@@ -21,6 +24,7 @@ def test_fig13_sensitivity(benchmark, scale):
             "iteration_grid": (1, 2, 4, 8),
             "m0_grid": (0.05, 0.15, 0.35),
             "mr_grid": (0.3, 0.5, 0.8),
+            "jobs": scale["jobs"],
         },
         rounds=1,
         iterations=1,

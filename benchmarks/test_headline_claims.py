@@ -6,9 +6,12 @@ The shape to hold: meaningful positive reductions against both
 baselines on both objectives.
 """
 
+import pytest
 from conftest import emit
 
 from repro.experiments.headline import headline_claims
+
+pytestmark = pytest.mark.slow
 
 
 def test_headline_claims(benchmark, scale):

@@ -1,8 +1,11 @@
 """Table 2 — best vs expert configurations and their performance."""
 
+import pytest
 from conftest import emit
 
 from repro.experiments import table2_best_vs_expert
+
+pytestmark = pytest.mark.slow
 
 
 def test_table2_best_vs_expert(benchmark, scale):

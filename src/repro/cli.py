@@ -36,6 +36,17 @@ _TARGETS = {
 _ALGORITHMS = ("ceal", "rs", "al", "geist", "alph", "bo", "ceal-bo")
 
 
+def _jobs_value(text: str) -> str:
+    """Validate --jobs at parse time, before any pool is generated."""
+    from repro.experiments.runner import resolve_jobs
+
+    try:
+        resolve_jobs(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+    return text
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -64,6 +75,14 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--repeats", type=int, default=10)
     rep.add_argument("--pool", type=int, default=1000)
     rep.add_argument("--seed", type=int, default=2021)
+    rep.add_argument(
+        "--jobs",
+        type=_jobs_value,
+        default=None,
+        metavar="N",
+        help="worker processes for trial fan-out ('auto' = one per CPU; "
+        "default: REPRO_JOBS or serial); results are identical to serial",
+    )
     rep.add_argument("--chart", action="store_true",
                      help="also render an ASCII chart of the rows")
     return parser
@@ -136,7 +155,12 @@ def _cmd_reproduce(args, out) -> int:
     func_name, takes_scale = _TARGETS[args.target]
     func = getattr(experiments, func_name)
     if takes_scale:
-        result = func(repeats=args.repeats, pool_size=args.pool, seed=args.seed)
+        result = func(
+            repeats=args.repeats,
+            pool_size=args.pool,
+            seed=args.seed,
+            jobs=args.jobs,
+        )
     elif args.target == "fig04":
         result = func(seed=args.seed)
     elif args.target == "table2":

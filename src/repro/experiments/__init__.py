@@ -31,8 +31,10 @@ from repro.experiments.runner import (
     AlgorithmSpec,
     TrialMetrics,
     default_algorithms,
+    resolve_jobs,
     run_trials,
     summarize,
+    trial_seed,
 )
 from repro.experiments.sensitivity import fig13_sensitivity, sweep_ceal
 from repro.experiments.tables import table1_parameter_spaces, table2_best_vs_expert
@@ -58,8 +60,10 @@ __all__ = [
     "render_bars",
     "render_figure",
     "render_series",
+    "resolve_jobs",
     "run_trials",
     "summarize",
+    "trial_seed",
     "sweep_ceal",
     "table1_parameter_spaces",
     "table2_best_vs_expert",

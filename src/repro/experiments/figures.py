@@ -140,7 +140,10 @@ def fig04_lowfid_recall(
 
 
 def fig05_best_config(
-    repeats: int = 10, pool_size: int = 1000, seed: int = 2021
+    repeats: int = 10,
+    pool_size: int = 1000,
+    seed: int = 2021,
+    jobs: int | str | None = None,
 ) -> FigureResult:
     """Normalized best-configuration performance, RS/GEIST/AL/CEAL (Fig. 5)."""
     result = FigureResult(
@@ -160,6 +163,7 @@ def fig05_best_config(
                 repeats=repeats,
                 pool_size=pool_size,
                 pool_seed=seed,
+                jobs=jobs,
             )
             summary = summarize(trials)
             for algo in ("RS", "GEIST", "AL", "CEAL"):
@@ -182,7 +186,10 @@ def fig05_best_config(
 
 
 def fig06_mdape(
-    repeats: int = 10, pool_size: int = 1000, seed: int = 2021
+    repeats: int = 10,
+    pool_size: int = 1000,
+    seed: int = 2021,
+    jobs: int | str | None = None,
 ) -> FigureResult:
     """Model MdAPE over all and top-2 % test configurations (Fig. 6)."""
     cases = (
@@ -203,6 +210,7 @@ def fig06_mdape(
                 repeats=repeats,
                 pool_size=pool_size,
                 pool_seed=seed,
+                jobs=jobs,
             )
         )
         for algo in ("RS", "GEIST", "AL", "CEAL"):
@@ -225,7 +233,11 @@ def fig06_mdape(
 
 
 def fig07_recall(
-    repeats: int = 10, pool_size: int = 1000, seed: int = 2021, max_n: int = 9
+    repeats: int = 10,
+    pool_size: int = 1000,
+    seed: int = 2021,
+    max_n: int = 9,
+    jobs: int | str | None = None,
 ) -> FigureResult:
     """Recall of top-n configurations, four algorithms (Fig. 7)."""
     cases = (
@@ -246,6 +258,7 @@ def fig07_recall(
                 pool_size=pool_size,
                 pool_seed=seed,
                 recall_max_n=max_n,
+                jobs=jobs,
             )
         )
         for algo in ("RS", "GEIST", "AL", "CEAL"):
@@ -269,7 +282,8 @@ def fig07_recall(
 
 
 def _practicality_rows(
-    specs, workflow_name, objective_name, budget, repeats, pool_size, seed
+    specs, workflow_name, objective_name, budget, repeats, pool_size, seed,
+    jobs=None,
 ):
     workflow = make_workflow(workflow_name)
     objective = get_objective(objective_name)
@@ -284,6 +298,7 @@ def _practicality_rows(
         repeats=repeats,
         pool_size=pool_size,
         pool_seed=seed,
+        jobs=jobs,
     )
     rows = []
     by_algo: dict[str, list] = {}
@@ -313,7 +328,10 @@ def _practicality_rows(
 
 
 def fig08_practicality(
-    repeats: int = 10, pool_size: int = 1000, seed: int = 2021
+    repeats: int = 10,
+    pool_size: int = 1000,
+    seed: int = 2021,
+    jobs: int | str | None = None,
 ) -> FigureResult:
     """Least number of uses, AL vs CEAL, computer time, 50 samples (Fig. 8)."""
     specs = (
@@ -326,7 +344,8 @@ def fig08_practicality(
     for workflow_name in ("LV", "HS"):
         result.rows.extend(
             _practicality_rows(
-                specs, workflow_name, "computer_time", 50, repeats, pool_size, seed
+                specs, workflow_name, "computer_time", 50, repeats, pool_size,
+                seed, jobs,
             )
         )
     return result
@@ -338,7 +357,10 @@ def fig08_practicality(
 
 
 def fig09_history_effect(
-    repeats: int = 10, pool_size: int = 1000, seed: int = 2021
+    repeats: int = 10,
+    pool_size: int = 1000,
+    seed: int = 2021,
+    jobs: int | str | None = None,
 ) -> FigureResult:
     """CEAL with vs without free historical measurements (Fig. 9)."""
     specs = (
@@ -362,6 +384,7 @@ def fig09_history_effect(
                     repeats=repeats,
                     pool_size=pool_size,
                     pool_seed=seed,
+                    jobs=jobs,
                 )
             )
             for algo in summary:
@@ -383,7 +406,10 @@ def fig09_history_effect(
 
 
 def fig10_ceal_vs_alph(
-    repeats: int = 10, pool_size: int = 1000, seed: int = 2021
+    repeats: int = 10,
+    pool_size: int = 1000,
+    seed: int = 2021,
+    jobs: int | str | None = None,
 ) -> FigureResult:
     """Best configuration, CEAL vs ALpH, with histories (Fig. 10)."""
     result = FigureResult("Fig. 10", "CEAL vs ALpH with historical measurements")
@@ -399,6 +425,7 @@ def fig10_ceal_vs_alph(
                     repeats=repeats,
                     pool_size=pool_size,
                     pool_seed=seed,
+                    jobs=jobs,
                 )
             )
             for algo in ("CEAL", "ALpH"):
@@ -415,7 +442,11 @@ def fig10_ceal_vs_alph(
 
 
 def fig11_alph_recall(
-    repeats: int = 10, pool_size: int = 1000, seed: int = 2021, max_n: int = 9
+    repeats: int = 10,
+    pool_size: int = 1000,
+    seed: int = 2021,
+    max_n: int = 9,
+    jobs: int | str | None = None,
 ) -> FigureResult:
     """Recall curves, CEAL vs ALpH, with histories (Fig. 11)."""
     cases = (
@@ -436,6 +467,7 @@ def fig11_alph_recall(
                 pool_size=pool_size,
                 pool_seed=seed,
                 recall_max_n=max_n,
+                jobs=jobs,
             )
         )
         for algo in ("CEAL", "ALpH"):
@@ -454,7 +486,10 @@ def fig11_alph_recall(
 
 
 def fig12_alph_practicality(
-    repeats: int = 10, pool_size: int = 1000, seed: int = 2021
+    repeats: int = 10,
+    pool_size: int = 1000,
+    seed: int = 2021,
+    jobs: int | str | None = None,
 ) -> FigureResult:
     """Least number of uses, CEAL vs ALpH, with histories (Fig. 12)."""
     result = FigureResult("Fig. 12", "Practicality with historical measurements")
@@ -476,6 +511,7 @@ def fig12_alph_practicality(
                 repeats,
                 pool_size,
                 seed,
+                jobs,
             )
         )
     return result

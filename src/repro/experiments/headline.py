@@ -26,6 +26,7 @@ def headline_claims(
     seed: int = 2021,
     budget: int = 50,
     workflow_name: str = "LV",
+    jobs: int | str | None = None,
 ) -> FigureResult:
     """CEAL's tuned-time reductions vs RS and GEIST (abstract/§1)."""
     specs = (
@@ -47,6 +48,7 @@ def headline_claims(
                 repeats=repeats,
                 pool_size=pool_size,
                 pool_seed=seed,
+                jobs=jobs,
             )
         )
         ceal = summary["CEAL"]["best_value"]

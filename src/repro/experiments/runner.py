@@ -8,10 +8,29 @@ Trial metrics cover every evaluation of §7.2: actual performance of the
 predicted best configuration (normalised by the pool optimum), recall
 curves, MdAPE over all and the top 2 % of the test set, and the
 data-collection cost feeding the practicality metric.
+
+Trials are independent given their seeds, so :func:`run_trials` can fan
+them out across worker processes (``jobs`` argument, ``REPRO_JOBS``
+environment override, ``--jobs`` on the CLI).  Parallel execution is
+bit-identical to serial execution: every per-trial seed is derived up
+front from ``(pool_seed, algorithm name, repeat)`` — never from worker
+identity or scheduling order — and results are re-sorted into the
+serial (algorithm-major, repeat-minor) order before returning.
+
+The fan-out uses the ``fork`` start method so the shared measured pool,
+component histories, and (lambda-holding) algorithm specs are inherited
+by workers instead of pickled; only trial indices go out and
+:class:`TrialMetrics` come back.  On platforms without ``fork`` the
+engine silently degrades to serial execution.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import os
+import time
+import warnings
+import zlib
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
@@ -30,8 +49,12 @@ __all__ = [
     "AlgorithmSpec",
     "TrialMetrics",
     "default_algorithms",
+    "fanout",
+    "hash_name",
+    "resolve_jobs",
     "run_trials",
     "summarize",
+    "trial_seed",
 ]
 
 
@@ -60,7 +83,15 @@ def default_algorithms(with_history: bool = False) -> tuple[AlgorithmSpec, ...]:
 
 @dataclass
 class TrialMetrics:
-    """Metrics of one tuning trial."""
+    """Metrics of one tuning trial.
+
+    ``seed`` is the *effective* seed handed to
+    :meth:`~repro.core.problem.TuningProblem.create`, so a single trial
+    can be reproduced from its saved metrics row alone; ``repeat`` is
+    the repeat index within the trial batch.  ``wall_seconds`` is the
+    measured wall-clock time of the trial (the only field that is not
+    deterministic across runs).
+    """
 
     algorithm: str
     workflow: str
@@ -74,7 +105,155 @@ class TrialMetrics:
     mdape_top2: float
     cost: float
     runs_used: int
+    repeat: int = 0
+    wall_seconds: float = 0.0
     trace: list = field(default_factory=list)
+
+
+def hash_name(name: str) -> int:
+    """Stable per-name offset so algorithms draw distinct random streams.
+
+    CRC-32 of the UTF-8 name: unlike an ordinal sum, anagrams ("AL" vs
+    a user-registered "LA") do not collide onto one random stream.
+    """
+    return zlib.crc32(name.encode("utf-8"))
+
+
+def trial_seed(pool_seed: int, name: str, rep: int) -> int:
+    """Effective seed of one (algorithm, repeat) trial.
+
+    Derived only from ``(pool_seed, name, rep)`` so the value is fixed
+    before any trial runs — worker scheduling order cannot perturb it.
+    """
+    return pool_seed * 1_000_003 + rep + hash_name(name)
+
+
+# -- process fan-out ---------------------------------------------------------------
+
+#: ``(worker, context)`` of the fan-out in flight.  Set in the parent
+#: immediately before the pool forks, so workers inherit it through
+#: copy-on-write memory instead of pickling (the context holds lambdas
+#: and DES-backed workflow objects that do not pickle).
+_FANOUT_STATE: tuple | None = None
+
+
+def _fanout_entry(index: int):
+    worker, context = _FANOUT_STATE
+    return index, worker(context, index)
+
+
+def resolve_jobs(jobs: int | str | None = None) -> int:
+    """Resolve a ``jobs`` request to a positive worker count.
+
+    ``None`` falls back to the ``REPRO_JOBS`` environment variable and
+    then to ``1`` (serial).  ``"auto"`` or any value ``<= 0`` means one
+    worker per CPU.
+    """
+    if jobs is None:
+        jobs = os.environ.get("REPRO_JOBS") or "1"
+    if isinstance(jobs, str):
+        text = jobs.strip().lower()
+        if text in ("auto", ""):
+            jobs = 0
+        else:
+            try:
+                jobs = int(text)
+            except ValueError:
+                raise ValueError(
+                    f"jobs must be an integer or 'auto', got {jobs!r}"
+                ) from None
+    if jobs <= 0:
+        return os.cpu_count() or 1
+    return int(jobs)
+
+
+def fanout(worker, context, n_tasks: int, jobs: int | str | None = None) -> list:
+    """Run ``worker(context, i)`` for ``i in range(n_tasks)``, maybe in parallel.
+
+    Results are returned in index order regardless of completion order.
+    ``worker`` and ``context`` are shared with forked workers by
+    inheritance and never pickled; worker *return values* must pickle.
+    Falls back to serial execution when ``jobs`` resolves to 1, when
+    ``fork`` is unavailable, or when already inside a fan-out worker.
+    """
+    global _FANOUT_STATE
+    n_jobs = min(resolve_jobs(jobs), n_tasks)
+    if n_jobs <= 1 or _FANOUT_STATE is not None:
+        return [worker(context, i) for i in range(n_tasks)]
+    if "fork" not in multiprocessing.get_all_start_methods():
+        warnings.warn(
+            "repro: parallel trials need the 'fork' start method; "
+            "running serially",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return [worker(context, i) for i in range(n_tasks)]
+    _FANOUT_STATE = (worker, context)
+    try:
+        mp = multiprocessing.get_context("fork")
+        with mp.Pool(processes=n_jobs) as pool:
+            results: list = [None] * n_tasks
+            for index, result in pool.imap_unordered(
+                _fanout_entry, range(n_tasks), chunksize=1
+            ):
+                results[index] = result
+    finally:
+        _FANOUT_STATE = None
+    return results
+
+
+# -- trial execution ---------------------------------------------------------------
+
+
+@dataclass
+class _TrialContext:
+    """Everything one trial needs, shared across workers by fork."""
+
+    workflow: WorkflowDefinition
+    objective: Objective
+    pool: object
+    truth: np.ndarray
+    pool_best: float
+    histories: dict
+    budget: int
+    failure_rate: float
+    recall_max_n: int
+    tasks: list  # (spec, rep, seed) in serial order
+
+
+def _run_one_trial(ctx: _TrialContext, index: int) -> TrialMetrics:
+    spec, rep, seed = ctx.tasks[index]
+    started = time.perf_counter()
+    problem = TuningProblem.create(
+        workflow=ctx.workflow,
+        objective=ctx.objective,
+        pool=ctx.pool,
+        budget_runs=ctx.budget,
+        seed=seed,
+        histories=ctx.histories,
+        failure_rate=ctx.failure_rate,
+    )
+    algorithm = spec.factory()
+    result = algorithm.tune(problem)
+    scores = result.predict_pool(ctx.pool)
+    best_value = result.best_actual_value(ctx.pool)
+    return TrialMetrics(
+        algorithm=spec.name,
+        workflow=ctx.workflow.name,
+        objective=ctx.objective.name,
+        budget=ctx.budget,
+        seed=seed,
+        best_value=best_value,
+        normalized=best_value / ctx.pool_best,
+        recall=recall_curve(scores, ctx.truth, ctx.recall_max_n),
+        mdape_all=mdape_on_top_fraction(scores, ctx.truth, None),
+        mdape_top2=mdape_on_top_fraction(scores, ctx.truth, 0.02),
+        cost=result.cost(),
+        runs_used=result.runs_used,
+        repeat=rep,
+        wall_seconds=time.perf_counter() - started,
+        trace=result.trace,
+    )
 
 
 def run_trials(
@@ -90,6 +269,7 @@ def run_trials(
     with_history: bool = True,
     recall_max_n: int = 10,
     failure_rate: float = 0.0,
+    jobs: int | str | None = None,
 ) -> list[TrialMetrics]:
     """Run every algorithm ``repeats`` times and collect trial metrics.
 
@@ -99,6 +279,12 @@ def run_trials(
     algorithm's own ``use_history`` setting; the ``with_history``
     argument here only selects which algorithm defaults the caller
     intends and is kept for the figure drivers' readability.
+
+    ``jobs`` fans the (algorithm, repeat) trials out across that many
+    worker processes (``"auto"`` / ``<= 0`` = one per CPU; default
+    ``REPRO_JOBS`` or serial).  Results are identical to serial
+    execution in every deterministic field — only ``wall_seconds``
+    varies between runs.
     """
     if isinstance(workflow, str):
         workflow = make_workflow(workflow)
@@ -117,46 +303,24 @@ def run_trials(
                 noise_sigma=noise_sigma,
             )
 
-    out: list[TrialMetrics] = []
-    for spec in algorithms:
-        for rep in range(repeats):
-            seed = pool_seed * 1_000_003 + rep
-            problem = TuningProblem.create(
-                workflow=workflow,
-                objective=objective,
-                pool=pool,
-                budget_runs=budget,
-                seed=seed + hash_name(spec.name),
-                histories=histories,
-                failure_rate=failure_rate,
-            )
-            algorithm = spec.factory()
-            result = algorithm.tune(problem)
-            scores = result.predict_pool(pool)
-            best_value = result.best_actual_value(pool)
-            out.append(
-                TrialMetrics(
-                    algorithm=spec.name,
-                    workflow=workflow.name,
-                    objective=objective.name,
-                    budget=budget,
-                    seed=rep,
-                    best_value=best_value,
-                    normalized=best_value / pool_best,
-                    recall=recall_curve(scores, truth, recall_max_n),
-                    mdape_all=mdape_on_top_fraction(scores, truth, None),
-                    mdape_top2=mdape_on_top_fraction(scores, truth, 0.02),
-                    cost=result.cost(),
-                    runs_used=result.runs_used,
-                    trace=result.trace,
-                )
-            )
-    return out
-
-
-def hash_name(name: str) -> int:
-    """Stable small offset so algorithms draw distinct random streams."""
-    return sum(ord(ch) for ch in name)
+    tasks = [
+        (spec, rep, trial_seed(pool_seed, spec.name, rep))
+        for spec in algorithms
+        for rep in range(repeats)
+    ]
+    ctx = _TrialContext(
+        workflow=workflow,
+        objective=objective,
+        pool=pool,
+        truth=truth,
+        pool_best=pool_best,
+        histories=histories,
+        budget=budget,
+        failure_rate=failure_rate,
+        recall_max_n=recall_max_n,
+        tasks=tasks,
+    )
+    return fanout(_run_one_trial, ctx, len(tasks), jobs)
 
 
 def summarize(trials: Sequence[TrialMetrics]) -> dict:
@@ -175,6 +339,7 @@ def summarize(trials: Sequence[TrialMetrics]) -> dict:
             "mdape_top2": float(np.mean([t.mdape_top2 for t in ts])),
             "cost": float(np.mean([t.cost for t in ts])),
             "runs_used": float(np.mean([t.runs_used for t in ts])),
+            "wall_seconds": float(np.mean([t.wall_seconds for t in ts])),
             "repeats": len(ts),
         }
     return out

@@ -6,9 +6,17 @@ predicted for LV with 50 training samples as (a) the iteration count
 component-sample share ``m_R/m`` are varied — each with and without free
 historical measurements (panel (c) only applies without, since with
 histories ``m_R = 0``).
+
+Sweep cells are independent trials, so :func:`sweep_ceal` fans
+(setting, repeat) pairs out through the same worker-process machinery
+as :func:`repro.experiments.runner.run_trials`; per-cell seeds keep the
+historical ``seed + 37·rep`` derivation (shared across settings), so
+results are identical to the serial sweep.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -16,10 +24,37 @@ from repro.core.ceal import Ceal, CealSettings
 from repro.core.objectives import get_objective
 from repro.core.problem import TuningProblem
 from repro.experiments.figures import FigureResult
+from repro.experiments.runner import fanout
 from repro.workflows.catalog import make_workflow
 from repro.workflows.pools import generate_component_history, generate_pool
 
 __all__ = ["fig13_sensitivity", "sweep_ceal"]
+
+
+@dataclass
+class _SweepContext:
+    """Shared state of one sweep, inherited by forked workers."""
+
+    workflow: object
+    objective: object
+    pool: object
+    histories: dict
+    budget: int
+    tasks: list  # (settings_index, settings, seed) per trial
+
+
+def _run_one_sweep_cell(ctx: _SweepContext, index: int) -> float:
+    _, settings, seed = ctx.tasks[index]
+    problem = TuningProblem.create(
+        workflow=ctx.workflow,
+        objective=ctx.objective,
+        pool=ctx.pool,
+        budget_runs=ctx.budget,
+        seed=seed,
+        histories=ctx.histories,
+    )
+    result = Ceal(settings).tune(problem)
+    return result.best_actual_value(ctx.pool)
 
 
 def sweep_ceal(
@@ -30,6 +65,7 @@ def sweep_ceal(
     repeats: int = 10,
     pool_size: int = 1000,
     seed: int = 2021,
+    jobs: int | str | None = None,
 ) -> list[dict]:
     """Mean best-configuration value of CEAL across settings."""
     workflow = make_workflow(workflow_name)
@@ -40,25 +76,28 @@ def sweep_ceal(
         for label in workflow.labels
         if workflow.app(label).space.size() > 1
     }
+    tasks = [
+        (i, settings, seed + 37 * rep)
+        for i, (_, settings) in enumerate(settings_list)
+        for rep in range(repeats)
+    ]
+    ctx = _SweepContext(
+        workflow=workflow,
+        objective=objective,
+        pool=pool,
+        histories=histories,
+        budget=budget,
+        tasks=tasks,
+    )
+    values = fanout(_run_one_sweep_cell, ctx, len(tasks), jobs)
     rows = []
-    for name, settings in settings_list:
-        values = []
-        for rep in range(repeats):
-            problem = TuningProblem.create(
-                workflow=workflow,
-                objective=objective,
-                pool=pool,
-                budget_runs=budget,
-                seed=seed + 37 * rep,
-                histories=histories,
-            )
-            result = Ceal(settings).tune(problem)
-            values.append(result.best_actual_value(pool))
+    for i, (name, _) in enumerate(settings_list):
+        cell = [v for (j, _, _), v in zip(tasks, values) if j == i]
         rows.append(
             {
                 "setting": name,
-                "mean_value": float(np.mean(values)),
-                "std": float(np.std(values)),
+                "mean_value": float(np.mean(cell)),
+                "std": float(np.std(cell)),
                 "unit": objective.unit,
             }
         )
@@ -72,6 +111,7 @@ def fig13_sensitivity(
     iteration_grid: tuple = (1, 2, 4, 6, 8, 10),
     m0_grid: tuple = (0.05, 0.10, 0.15, 0.25, 0.35),
     mr_grid: tuple = (0.15, 0.30, 0.50, 0.65, 0.80),
+    jobs: int | str | None = None,
 ) -> FigureResult:
     """The three Fig. 13 panels on LV computer time, 50 samples."""
     result = FigureResult(
@@ -87,7 +127,9 @@ def fig13_sensitivity(
             )
             for i in iteration_grid
         ]
-        for row in sweep_ceal(sweeps, repeats=repeats, pool_size=pool_size, seed=seed):
+        for row in sweep_ceal(
+            sweeps, repeats=repeats, pool_size=pool_size, seed=seed, jobs=jobs
+        ):
             row["panel"] = "a:iterations"
             result.rows.append(row)
     # (b) random fraction m0/m
@@ -100,7 +142,9 @@ def fig13_sensitivity(
             )
             for frac in m0_grid
         ]
-        for row in sweep_ceal(sweeps, repeats=repeats, pool_size=pool_size, seed=seed):
+        for row in sweep_ceal(
+            sweeps, repeats=repeats, pool_size=pool_size, seed=seed, jobs=jobs
+        ):
             row["panel"] = "b:random_fraction"
             result.rows.append(row)
     # (c) component fraction mR/m — only meaningful without histories
@@ -111,7 +155,9 @@ def fig13_sensitivity(
         )
         for frac in mr_grid
     ]
-    for row in sweep_ceal(sweeps, repeats=repeats, pool_size=pool_size, seed=seed):
+    for row in sweep_ceal(
+        sweeps, repeats=repeats, pool_size=pool_size, seed=seed, jobs=jobs
+    ):
         row["panel"] = "c:component_fraction"
         result.rows.append(row)
     return result

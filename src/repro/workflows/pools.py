@@ -12,14 +12,23 @@ Two kinds of pre-measured data back every experiment:
   per component), used to train component models and as historical
   measurements ``D_hist`` in §7.5.
 
-Generation is deterministic given the seed; results are memoised in
-process and optionally on disk (``REPRO_CACHE_DIR``).
+Generation is deterministic given the seed; results are memoised in a
+two-level cache: in process and optionally on disk (``REPRO_CACHE_DIR``).
+The disk layer is safe under concurrent writers — several processes
+(e.g. parallel trial workers, or benchmark shards sharing one cache
+directory) may generate the same pool at once.  Files are written to a
+temporary name and atomically renamed into place, so a reader never
+observes a partial file; a corrupt or truncated cache file (interrupted
+run, disk full) is deleted and regenerated instead of crashing every
+later run.
 """
 
 from __future__ import annotations
 
 import math
 import os
+import pickle
+import zipfile
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -161,9 +170,10 @@ def generate_pool(
         else None
     )
     if cache_file is not None and cache_file.exists():
-        pool = _load_pool(workflow, cache_file)
-        _POOL_MEMO[key] = pool
-        return pool
+        pool = _load_cached(lambda: _load_pool(workflow, cache_file), cache_file)
+        if pool is not None:
+            _POOL_MEMO[key] = pool
+            return pool
 
     rng = np.random.default_rng(stable_seed("pool", workflow.name, size, seed))
     configs = workflow.space.sample(
@@ -222,10 +232,28 @@ def generate_component_history(
     seed: int = 2021,
     noise_sigma: float = 0.05,
 ) -> ComponentHistory:
-    """Sample and solo-measure ``size`` random component configurations."""
+    """Sample and solo-measure ``size`` random component configurations.
+
+    Memoised in process and, when ``REPRO_CACHE_DIR`` is set, on disk —
+    parallel trial workers and repeated driver invocations warm-start
+    from the cache instead of re-running the solo measurements.
+    """
     key = (workflow.name, label, size, seed, noise_sigma)
     if key in _HISTORY_MEMO:
         return _HISTORY_MEMO[key]
+    cache = _cache_dir()
+    cache_file = (
+        cache / f"history_{workflow.name}_{label}_{size}_{seed}_{noise_sigma}.npz"
+        if cache
+        else None
+    )
+    if cache_file is not None and cache_file.exists():
+        history = _load_cached(
+            lambda: _load_history(workflow, label, cache_file), cache_file
+        )
+        if history is not None:
+            _HISTORY_MEMO[key] = history
+            return history
     app = workflow.app(label)
     machine = workflow.machine
     rng = np.random.default_rng(
@@ -259,15 +287,66 @@ def generate_component_history(
         computer_core_hours=comp_hours,
     )
     _HISTORY_MEMO[key] = history
+    if cache_file is not None:
+        _save_history(history, cache_file)
     return history
 
 
 # -- disk cache ---------------------------------------------------------------------
 
+#: Failure modes of reading a cache file another run truncated or a
+#: newer code version wrote: bad zip container, bad array contents,
+#: missing keys, short reads (``np.load`` reports non-zip garbage as an
+#: unpicklable file).
+_CACHE_LOAD_ERRORS = (
+    zipfile.BadZipFile,
+    pickle.UnpicklingError,
+    ValueError,
+    KeyError,
+    EOFError,
+    OSError,
+)
+
+
+def _atomic_savez(path: Path, **arrays) -> None:
+    """Write an npz so readers only ever see a complete file.
+
+    The payload goes to a pid-suffixed sibling first and is renamed over
+    ``path`` with :func:`os.replace` (atomic within a filesystem), so an
+    interrupted run cannot leave a truncated file under the final name
+    and the last concurrent writer simply wins with identical content.
+    """
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    try:
+        with open(tmp, "wb") as handle:
+            np.savez_compressed(handle, **arrays)
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
+def _load_cached(loader, path: Path):
+    """Run a cache ``loader``; on corruption, delete the file and return None."""
+    try:
+        return loader()
+    except _CACHE_LOAD_ERRORS:
+        try:
+            path.unlink(missing_ok=True)
+        except OSError:
+            pass
+        return None
+
+
+def _configs_from_array(raw: np.ndarray) -> tuple:
+    return tuple(
+        tuple(int(v) if float(v).is_integer() else float(v) for v in row)
+        for row in raw
+    )
+
 
 def _save_pool(pool: MeasuredPool, path: Path) -> None:
     configs = np.array([list(c) for c in pool.configs], dtype=np.float64)
-    np.savez_compressed(
+    _atomic_savez(
         path,
         configs=configs,
         execution=np.array([m.execution_seconds for m in pool.measurements]),
@@ -286,13 +365,31 @@ def _save_pool(pool: MeasuredPool, path: Path) -> None:
     )
 
 
+def _save_history(history: ComponentHistory, path: Path) -> None:
+    _atomic_savez(
+        path,
+        configs=np.array([list(c) for c in history.configs], dtype=np.float64),
+        execution=history.execution_seconds,
+        computer=history.computer_core_hours,
+    )
+
+
+def _load_history(
+    workflow: WorkflowDefinition, label: str, path: Path
+) -> ComponentHistory:
+    with np.load(path, allow_pickle=False) as data:
+        return ComponentHistory(
+            workflow_name=workflow.name,
+            label=label,
+            configs=_configs_from_array(data["configs"]),
+            execution_seconds=np.array(data["execution"], dtype=np.float64),
+            computer_core_hours=np.array(data["computer"], dtype=np.float64),
+        )
+
+
 def _load_pool(workflow: WorkflowDefinition, path: Path) -> MeasuredPool:
     data = np.load(path, allow_pickle=True)
-    raw_configs = data["configs"]
-    configs = tuple(
-        tuple(int(v) if float(v).is_integer() else float(v) for v in row)
-        for row in raw_configs
-    )
+    configs = _configs_from_array(data["configs"])
     labels = [str(x) for x in data["component_labels"]]
     measurements = tuple(
         WorkflowMeasurement(

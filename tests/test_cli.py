@@ -19,6 +19,14 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["reproduce"])
 
+    def test_reproduce_jobs_flag(self):
+        args = build_parser().parse_args(
+            ["reproduce", "--target", "fig05", "--jobs", "auto"]
+        )
+        assert args.jobs == "auto"
+        args = build_parser().parse_args(["reproduce", "--target", "fig05"])
+        assert args.jobs is None
+
     def test_invalid_workflow_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["tune", "--workflow", "XX"])

@@ -1,0 +1,129 @@
+"""Disk-cache hardening: atomic writes, corruption fallback, concurrent writers."""
+
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro.workflows import pools
+from repro.workflows.catalog import make_lv
+from repro.workflows.pools import generate_component_history, generate_pool
+
+POOL_SIZE = 40
+HIST_SIZE = 30
+
+
+@pytest.fixture()
+def cache_dir(tmp_path, monkeypatch):
+    """A fresh REPRO_CACHE_DIR; restores the in-process memo afterwards."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    saved_pools = dict(pools._POOL_MEMO)
+    saved_hist = dict(pools._HISTORY_MEMO)
+    yield tmp_path
+    pools._POOL_MEMO.clear()
+    pools._POOL_MEMO.update(saved_pools)
+    pools._HISTORY_MEMO.clear()
+    pools._HISTORY_MEMO.update(saved_hist)
+
+
+def _configurable_label(workflow):
+    return next(
+        label for label in workflow.labels
+        if workflow.app(label).space.size() > 1
+    )
+
+
+def _generate_in_child(seed: int):
+    """Child-process pool generation (forked: inherits env + memo state)."""
+    pool = generate_pool(make_lv(), POOL_SIZE, seed=seed)
+    return pool.objective_values("computer_time")
+
+
+class TestPoolCache:
+    def test_roundtrip_and_no_temp_leftovers(self, lv, cache_dir):
+        first = generate_pool(lv, POOL_SIZE, seed=9001)
+        files = list(cache_dir.glob("pool_*.npz"))
+        assert len(files) == 1
+        assert not list(cache_dir.glob("*.tmp"))
+        pools._POOL_MEMO.clear()
+        reloaded = generate_pool(lv, POOL_SIZE, seed=9001)
+        np.testing.assert_array_equal(
+            first.objective_values("computer_time"),
+            reloaded.objective_values("computer_time"),
+        )
+        assert first.configs == reloaded.configs
+
+    def test_corrupt_file_is_deleted_and_regenerated(self, lv, cache_dir):
+        fresh = generate_pool(lv, POOL_SIZE, seed=9002)
+        (cache_file,) = cache_dir.glob("pool_*.npz")
+        cache_file.write_bytes(b"this is not an npz archive")
+        pools._POOL_MEMO.clear()
+        regenerated = generate_pool(lv, POOL_SIZE, seed=9002)
+        np.testing.assert_array_equal(
+            fresh.objective_values("computer_time"),
+            regenerated.objective_values("computer_time"),
+        )
+        # The bad file was replaced by a valid one: a cold load succeeds.
+        pools._POOL_MEMO.clear()
+        reloaded = generate_pool(lv, POOL_SIZE, seed=9002)
+        np.testing.assert_array_equal(
+            fresh.objective_values("computer_time"),
+            reloaded.objective_values("computer_time"),
+        )
+
+    def test_truncated_file_is_recovered(self, lv, cache_dir):
+        fresh = generate_pool(lv, POOL_SIZE, seed=9003)
+        (cache_file,) = cache_dir.glob("pool_*.npz")
+        # An interrupted in-place write used to leave exactly this.
+        cache_file.write_bytes(cache_file.read_bytes()[:20])
+        pools._POOL_MEMO.clear()
+        regenerated = generate_pool(lv, POOL_SIZE, seed=9003)
+        np.testing.assert_array_equal(
+            fresh.objective_values("computer_time"),
+            regenerated.objective_values("computer_time"),
+        )
+
+    def test_concurrent_writers_leave_one_valid_file(self, lv, cache_dir):
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(3) as procs:
+            results = procs.map(_generate_in_child, [9004] * 3)
+        for other in results[1:]:
+            np.testing.assert_array_equal(results[0], other)
+        assert len(list(cache_dir.glob("pool_*.npz"))) == 1
+        assert not list(cache_dir.glob("*.tmp"))
+        # The parent (which never generated this pool) warm-starts from it.
+        assert (make_lv().name, POOL_SIZE, 9004, 0.05, 1) not in pools._POOL_MEMO
+        warm = generate_pool(lv, POOL_SIZE, seed=9004)
+        np.testing.assert_array_equal(
+            warm.objective_values("computer_time"), results[0]
+        )
+
+
+class TestHistoryCache:
+    def test_roundtrip(self, lv, cache_dir):
+        label = _configurable_label(lv)
+        first = generate_component_history(lv, label, size=HIST_SIZE, seed=9005)
+        files = list(cache_dir.glob("history_*.npz"))
+        assert len(files) == 1
+        pools._HISTORY_MEMO.clear()
+        reloaded = generate_component_history(lv, label, size=HIST_SIZE, seed=9005)
+        np.testing.assert_array_equal(
+            first.execution_seconds, reloaded.execution_seconds
+        )
+        np.testing.assert_array_equal(
+            first.computer_core_hours, reloaded.computer_core_hours
+        )
+        assert first.configs == reloaded.configs
+
+    def test_corrupt_file_is_deleted_and_regenerated(self, lv, cache_dir):
+        label = _configurable_label(lv)
+        fresh = generate_component_history(lv, label, size=HIST_SIZE, seed=9006)
+        (cache_file,) = cache_dir.glob("history_*.npz")
+        cache_file.write_bytes(b"\x00" * 16)
+        pools._HISTORY_MEMO.clear()
+        regenerated = generate_component_history(
+            lv, label, size=HIST_SIZE, seed=9006
+        )
+        np.testing.assert_array_equal(
+            fresh.execution_seconds, regenerated.execution_seconds
+        )
