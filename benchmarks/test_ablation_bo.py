@@ -8,7 +8,6 @@ Expected shape: bootstrapping helps BO just as it helps AL (CEAL-BO ≤
 BO), and the bootstrapped variants are the strongest arms overall.
 """
 
-import numpy as np
 import pytest
 from conftest import emit
 

@@ -13,7 +13,6 @@ ablation, and the pure-ACM arm trails it (§3: the low-fidelity model
 alone "lacks the accuracy required for auto-tuning").
 """
 
-import numpy as np
 import pytest
 from conftest import emit
 

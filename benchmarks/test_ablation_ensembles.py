@@ -22,7 +22,6 @@ from repro.experiments.figures import FigureResult
 from repro.insitu.measurement import stable_seed
 from repro.workflows import generate_component_history, generate_pool, make_lv
 
-import numpy as _np
 
 pytestmark = pytest.mark.slow
 

@@ -6,7 +6,6 @@ comparable or a little higher — the deliberate trade of the
 bootstrapping method.
 """
 
-import numpy as np
 import pytest
 from conftest import emit, mean_by
 

@@ -5,7 +5,6 @@ stable over wide ranges of the random fraction m0/m and component
 fraction mR/m.
 """
 
-import numpy as np
 import pytest
 from conftest import emit
 

@@ -69,6 +69,12 @@ def build_parser() -> argparse.ArgumentParser:
     tune.add_argument("--seed", type=int, default=0)
     tune.add_argument("--use-history", action="store_true",
                       help="treat solo component measurements as free")
+    tune.add_argument("--checkpoint", metavar="PATH", default=None,
+                      help="checkpoint the session to PATH after every "
+                      "measurement cycle")
+    tune.add_argument("--resume", action="store_true",
+                      help="resume the session from --checkpoint (requires "
+                      "the same workflow/objective/budget/seed)")
 
     rep = sub.add_parser("reproduce", help="regenerate a paper table/figure")
     rep.add_argument("--target", choices=sorted(_TARGETS), required=True)
@@ -121,6 +127,9 @@ def _cmd_tune(args, out) -> int:
     from repro.workflows import make_workflow
 
     workflow = make_workflow(args.workflow)
+    if args.resume and not args.checkpoint:
+        print("--resume requires --checkpoint PATH", file=out)
+        return 2
     outcome = AutoTuner(
         workflow,
         objective=args.objective,
@@ -129,6 +138,8 @@ def _cmd_tune(args, out) -> int:
         pool_size=args.pool_size,
         use_history=args.use_history,
         seed=args.seed,
+        checkpoint_path=args.checkpoint,
+        resume=args.resume,
     ).tune()
     named = workflow.space.as_dict(outcome.best_config)
     print(f"workflow      : {args.workflow}", file=out)

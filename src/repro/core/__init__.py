@@ -34,6 +34,14 @@ from repro.core.autotuner import AutoTuner, TuningOutcome
 from repro.core.ceal import Ceal, CealSettings
 from repro.core.collector import BudgetExhausted, Collector
 from repro.core.component_models import ComponentModelSet
+from repro.core.driver import (
+    CheckpointError,
+    ModelSwitchState,
+    SearchStrategy,
+    TuningDriver,
+    TuningEvent,
+    TuningSession,
+)
 from repro.core.ensembles import HyBoost, KnnModelSelector, Probing
 from repro.core.low_fidelity import LowFidelityModel
 from repro.core.metrics import least_number_of_uses, recall_score
@@ -51,10 +59,16 @@ __all__ = [
     "COMPUTER_TIME",
     "Ceal",
     "CealSettings",
+    "CheckpointError",
     "Collector",
     "ComponentModelSet",
     "EXECUTION_TIME",
     "Geist",
+    "ModelSwitchState",
+    "SearchStrategy",
+    "TuningDriver",
+    "TuningEvent",
+    "TuningSession",
     "HyBoost",
     "KnnModelSelector",
     "LowFidelityModel",

@@ -8,7 +8,12 @@ All consume a :class:`~repro.core.problem.TuningProblem` and return an
 from repro.core.algorithms.active_learning import ActiveLearning
 from repro.core.algorithms.alph import Alph
 from repro.core.algorithms.bandit import RegionBandit
-from repro.core.algorithms.base import TuningAlgorithm, split_batches
+from repro.core.algorithms.base import (
+    CandidateTracker,
+    SearchStrategy,
+    TuningAlgorithm,
+    split_batches,
+)
 from repro.core.algorithms.bayesian import BayesianOptimization
 from repro.core.algorithms.geist import Geist
 from repro.core.algorithms.low_fidelity_only import LowFidelityOnly
@@ -18,10 +23,12 @@ __all__ = [
     "ActiveLearning",
     "Alph",
     "BayesianOptimization",
+    "CandidateTracker",
     "Geist",
     "LowFidelityOnly",
     "RandomSampling",
     "RegionBandit",
+    "SearchStrategy",
     "TuningAlgorithm",
     "split_batches",
 ]

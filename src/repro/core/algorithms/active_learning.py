@@ -11,14 +11,73 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.algorithms.base import (
-    CandidateTracker,
-    TuningAlgorithm,
-    split_batches,
-)
-from repro.core.problem import AutotuneResult, TuningProblem
+from repro.core.algorithms.base import SearchStrategy, TuningAlgorithm
+from repro.core.driver import TuningSession
 
-__all__ = ["ActiveLearning"]
+__all__ = ["ActiveLearning", "ActiveLearningStrategy"]
+
+
+class ActiveLearningStrategy(SearchStrategy):
+    """Random seed batch, then model-guided predicted-top batches."""
+
+    name = "AL"
+
+    def __init__(self, initial_fraction: float, iterations: int) -> None:
+        self.initial_fraction = initial_fraction
+        self.iterations = iterations
+        self._cycle = 0
+        self._model = None
+        self._plan: list[int] | None = None
+
+    def prepare(self, session: TuningSession) -> None:
+        m = session.budget
+        self._m_init = min(max(2, round(self.initial_fraction * m)), m - 1)
+        self._model = session.problem.make_surrogate()
+
+    def ask(self, session: TuningSession):
+        tracker = session.tracker
+        if self._cycle == 0:
+            self._cycle = 1
+            session.annotate(kind="seed")
+            batch = session.problem.sample_unmeasured(
+                tracker.remaining, self._m_init
+            )
+            tracker.mark(batch)
+            return batch
+        if self._plan is None:
+            self._plan = session.plan_batches(
+                session.budget - self._m_init, self.iterations
+            )
+        index = self._cycle - 1
+        if index >= len(self._plan):
+            return []
+        self._cycle += 1
+        measured = session.collector.measured
+        session.annotate(samples=len(measured))
+        session.timed_fit(self._model, list(measured), list(measured.values()))
+        candidates = tracker.remaining
+        scores = self._model.predict(candidates)
+        batch = tracker.take_top(scores, candidates, self._plan[index])
+        tracker.mark(batch)
+        return batch
+
+    def finalize(self, session: TuningSession):
+        measured = session.collector.measured
+        session.timed_fit(self._model, list(measured), list(measured.values()))
+        return self._model
+
+    def state_dict(self) -> dict:
+        return {"cycle": self._cycle, "plan": self._plan}
+
+    def load_state(self, state: dict, session: TuningSession) -> None:
+        # The surrogate is rebuilt, not restored: every ask() and
+        # finalize() refits it from scratch on all measured data, so a
+        # fresh instance continues bit-identically.  The batch plan is
+        # restored (not recomputed) so its one-time ``batch_plan``
+        # annotation is not re-emitted after a resume.
+        self.prepare(session)
+        self._cycle = state["cycle"]
+        self._plan = state["plan"]
 
 
 @dataclass
@@ -43,30 +102,5 @@ class ActiveLearning(TuningAlgorithm):
         if self.iterations < 1:
             raise ValueError("iterations must be >= 1")
 
-    def tune(self, problem: TuningProblem) -> AutotuneResult:
-        m = problem.budget
-        m_init = max(2, round(self.initial_fraction * m))
-        m_init = min(m_init, m - 1)
-        tracker = CandidateTracker(problem.pool_configs)
-        trace: list[dict] = []
-
-        seed_batch = problem.sample_unmeasured(tracker.remaining, m_init)
-        tracker.mark(seed_batch)
-        problem.collector.measure(seed_batch)
-
-        model = problem.make_surrogate()
-        for i, batch_size in enumerate(split_batches(m - m_init, self.iterations)):
-            measured = problem.collector.measured
-            model.fit(list(measured), list(measured.values()))
-            candidates = tracker.remaining
-            scores = model.predict(candidates)
-            batch = tracker.take_top(scores, candidates, batch_size)
-            tracker.mark(batch)
-            problem.collector.measure(batch)
-            trace.append(
-                {"iteration": i + 1, "batch": len(batch), "samples": len(measured)}
-            )
-
-        measured = problem.collector.measured
-        model.fit(list(measured), list(measured.values()))
-        return AutotuneResult.from_collector(self.name, problem, model, trace)
+    def make_strategy(self) -> ActiveLearningStrategy:
+        return ActiveLearningStrategy(self.initial_fraction, self.iterations)

@@ -16,15 +16,129 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.algorithms.base import (
-    CandidateTracker,
-    TuningAlgorithm,
-    split_batches,
-)
+from repro.core.algorithms.base import SearchStrategy, TuningAlgorithm
 from repro.core.component_models import ComponentModelSet
-from repro.core.problem import AutotuneResult, TuningProblem
+from repro.core.driver import TuningSession
 
-__all__ = ["Alph"]
+__all__ = ["Alph", "AlphStrategy", "ComponentFeatureMap"]
+
+
+class ComponentFeatureMap:
+    """Component-model predictions as surrogate features (§4).
+
+    A class (not a closure) so strategies can rebuild it on
+    checkpoint resume from retrained component models.
+    """
+
+    def __init__(self, component_models: ComponentModelSet) -> None:
+        self.component_models = component_models
+
+    def __call__(self, configs) -> np.ndarray:
+        return self.component_models.predict_components(configs).T
+
+
+class AlphStrategy(SearchStrategy):
+    """AL over a surrogate whose features include component predictions."""
+
+    name = "ALpH"
+
+    def __init__(
+        self,
+        component_runs_fraction: float,
+        use_history: bool,
+        initial_fraction: float,
+        iterations: int,
+    ) -> None:
+        self.component_runs_fraction = component_runs_fraction
+        self.use_history = use_history
+        self.initial_fraction = initial_fraction
+        self.iterations = iterations
+        self._cycle = 0
+        self._plan: list[int] | None = None
+
+    def prepare(self, session: TuningSession) -> None:
+        problem = session.problem
+        m = session.budget
+        if self.use_history and problem.collector.histories:
+            self._component_data = problem.collector.free_component_history()
+            self._m_workflow = m
+        else:
+            n_batches = min(
+                max(2, round(self.component_runs_fraction * m)), m - 2
+            )
+            self._component_data = problem.collector.measure_components(
+                n_batches, problem.rng
+            )
+            self._m_workflow = m - n_batches
+            session.annotate(component_batches=n_batches)
+        self._build_model(session)
+        self._m_init = min(
+            max(2, round(self.initial_fraction * self._m_workflow)),
+            self._m_workflow - 1,
+        )
+
+    def _build_model(self, session: TuningSession) -> None:
+        problem = session.problem
+        component_models = ComponentModelSet.train(
+            problem.workflow,
+            problem.objective,
+            self._component_data,
+            random_state=problem.seed,
+        )
+        self._model = problem.make_surrogate(
+            extra_features=ComponentFeatureMap(component_models)
+        )
+
+    def ask(self, session: TuningSession):
+        tracker = session.tracker
+        if self._cycle == 0:
+            self._cycle = 1
+            session.annotate(kind="seed")
+            batch = session.problem.sample_unmeasured(
+                tracker.remaining, self._m_init
+            )
+            tracker.mark(batch)
+            return batch
+        if self._plan is None:
+            self._plan = session.plan_batches(
+                self._m_workflow - self._m_init, self.iterations
+            )
+        index = self._cycle - 1
+        if index >= len(self._plan):
+            return []
+        self._cycle += 1
+        measured = session.collector.measured
+        session.timed_fit(self._model, list(measured), list(measured.values()))
+        candidates = tracker.remaining
+        scores = self._model.predict(candidates)
+        batch = tracker.take_top(scores, candidates, self._plan[index])
+        tracker.mark(batch)
+        return batch
+
+    def finalize(self, session: TuningSession):
+        measured = session.collector.measured
+        session.timed_fit(self._model, list(measured), list(measured.values()))
+        return self._model
+
+    def state_dict(self) -> dict:
+        return {
+            "cycle": self._cycle,
+            "plan": self._plan,
+            "component_data": self._component_data,
+            "m_workflow": self._m_workflow,
+            "m_init": self._m_init,
+        }
+
+    def load_state(self, state: dict, session: TuningSession) -> None:
+        self._component_data = state["component_data"]
+        self._m_workflow = state["m_workflow"]
+        self._m_init = state["m_init"]
+        self._cycle = state["cycle"]
+        self._plan = state["plan"]
+        # Retraining the component models and rebuilding the (unfitted)
+        # surrogate is deterministic given the restored solo data; the
+        # surrogate itself refits on all measured data in every ask().
+        self._build_model(session)
 
 
 @dataclass
@@ -50,53 +164,10 @@ class Alph(TuningAlgorithm):
     iterations: int = 5
     name: str = "ALpH"
 
-    def tune(self, problem: TuningProblem) -> AutotuneResult:
-        m = problem.budget
-        trace: list[dict] = []
-
-        # -- component models ------------------------------------------------
-        if self.use_history and problem.collector.histories:
-            component_data = problem.collector.free_component_history()
-            m_workflow = m
-        else:
-            n_batches = max(2, round(self.component_runs_fraction * m))
-            n_batches = min(n_batches, m - 2)
-            component_data = problem.collector.measure_components(
-                n_batches, problem.rng
-            )
-            m_workflow = m - n_batches
-        component_models = ComponentModelSet.train(
-            problem.workflow,
-            problem.objective,
-            component_data,
-            random_state=problem.seed,
+    def make_strategy(self) -> AlphStrategy:
+        return AlphStrategy(
+            self.component_runs_fraction,
+            self.use_history,
+            self.initial_fraction,
+            self.iterations,
         )
-
-        def component_features(configs) -> np.ndarray:
-            return component_models.predict_components(configs).T
-
-        model = problem.make_surrogate(extra_features=component_features)
-
-        # -- active learning over the augmented surrogate ----------------------
-        m_init = max(2, round(self.initial_fraction * m_workflow))
-        m_init = min(m_init, m_workflow - 1)
-        tracker = CandidateTracker(problem.pool_configs)
-        seed_batch = problem.sample_unmeasured(tracker.remaining, m_init)
-        tracker.mark(seed_batch)
-        problem.collector.measure(seed_batch)
-
-        for i, batch_size in enumerate(
-            split_batches(m_workflow - m_init, self.iterations)
-        ):
-            measured = problem.collector.measured
-            model.fit(list(measured), list(measured.values()))
-            candidates = tracker.remaining
-            scores = model.predict(candidates)
-            batch = tracker.take_top(scores, candidates, batch_size)
-            tracker.mark(batch)
-            problem.collector.measure(batch)
-            trace.append({"iteration": i + 1, "batch": len(batch)})
-
-        measured = problem.collector.measured
-        model.fit(list(measured), list(measured.values()))
-        return AutotuneResult.from_collector(self.name, problem, model, trace)

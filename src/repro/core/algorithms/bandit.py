@@ -26,10 +26,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.algorithms.base import CandidateTracker, TuningAlgorithm
-from repro.core.problem import AutotuneResult, TuningProblem
+from repro.core.algorithms.base import SearchStrategy, TuningAlgorithm
+from repro.core.driver import TuningSession
 
-__all__ = ["RegionBandit"]
+__all__ = ["RegionBandit", "RegionBanditStrategy"]
 
 
 def _kmeans(points: np.ndarray, k: int, rng: np.random.Generator,
@@ -50,6 +50,143 @@ def _kmeans(points: np.ndarray, k: int, rng: np.random.Generator,
             if mask.any():
                 centers[j] = points[mask].mean(axis=0)
     return labels
+
+
+class RegionBanditStrategy(SearchStrategy):
+    """UCB1 over pool regions with a surrogate-guided inner pick."""
+
+    name = "Bandit"
+
+    def __init__(
+        self, n_regions: int, exploration: float, warmup_per_region: int
+    ) -> None:
+        self.n_regions = n_regions
+        self.exploration = exploration
+        self.warmup_per_region = warmup_per_region
+        self._warm_index = 0
+        self._warm_count = 0
+        self._warmup_done = False
+        self._last_region: int | None = None
+
+    def prepare(self, session: TuningSession) -> None:
+        problem = session.problem
+        points = problem.workflow.space.normalize(list(problem.pool_configs))
+        self._labels = _kmeans(points, self.n_regions, problem.rng)
+        self._build_regions(session)
+        self._rewards: dict[int, list] = {r: [] for r in self._regions}
+        self._model = session.problem.make_surrogate()
+        session.annotate(regions=len(self._regions))
+
+    def _build_regions(self, session: TuningSession) -> None:
+        self._regions: dict[int, list] = {}
+        for config, region in zip(session.problem.pool_configs, self._labels):
+            self._regions.setdefault(int(region), []).append(tuple(config))
+        self._warm_order = sorted(self._regions)
+
+    def _remaining_in(self, region: int, session: TuningSession) -> list:
+        available = set(session.tracker.remaining)
+        return [c for c in self._regions[region] if c in available]
+
+    def ask(self, session: TuningSession):
+        collector = session.collector
+        tracker = session.tracker
+        # -- warm-up: seed every region, one pick per cycle -------------------
+        if not self._warmup_done:
+            while self._warm_index < len(self._warm_order):
+                if self._warm_count >= self.warmup_per_region:
+                    self._warm_index += 1
+                    self._warm_count = 0
+                    continue
+                if collector.runs_remaining <= 0:
+                    return []
+                region = self._warm_order[self._warm_index]
+                candidates = self._remaining_in(region, session)
+                if not candidates:
+                    self._warm_index += 1
+                    self._warm_count = 0
+                    continue
+                self._warm_count += 1
+                pick = session.problem.sample_unmeasured(candidates, 1)
+                tracker.mark(pick)
+                self._last_region = region
+                session.annotate(kind="warmup", region=region)
+                return pick
+            self._warmup_done = True
+        # -- UCB loop ----------------------------------------------------------
+        if collector.runs_remaining <= 0:
+            return []
+        measured_all = collector.measured
+        if not measured_all:
+            return []
+        scale = float(np.median(list(measured_all.values())))
+        total_pulls = sum(len(v) for v in self._rewards.values())
+        best_region, best_ucb = None, -math.inf
+        for region in self._regions:
+            if not self._remaining_in(region, session):
+                continue
+            pulls = self._rewards[region]
+            if not pulls:
+                ucb = math.inf
+            else:
+                mean_reward = float(np.mean([-v / scale for v in pulls]))
+                ucb = mean_reward + self.exploration * math.sqrt(
+                    math.log(max(total_pulls, 2)) / len(pulls)
+                )
+            if ucb > best_ucb:
+                best_region, best_ucb = region, ucb
+        if best_region is None:
+            return []
+        candidates = self._remaining_in(best_region, session)
+        if len(measured_all) >= 5:
+            session.timed_fit(
+                self._model, list(measured_all), list(measured_all.values())
+            )
+            scores = self._model.predict(candidates)
+            pick = [candidates[int(np.argmin(scores))]]
+        else:
+            pick = session.problem.sample_unmeasured(candidates, 1)
+        tracker.mark(pick)
+        self._last_region = best_region
+        session.annotate(region=best_region, ucb=best_ucb, picked=pick[0])
+        return pick
+
+    def tell(self, session: TuningSession, batch, results: dict) -> None:
+        for value in results.values():
+            self._rewards[self._last_region].append(value)
+
+    def finalize(self, session: TuningSession):
+        measured_all = session.collector.measured
+        if len(measured_all) < 2:
+            raise RuntimeError("bandit obtained fewer than 2 samples")
+        session.timed_fit(
+            self._model, list(measured_all), list(measured_all.values())
+        )
+        return self._model
+
+    def summary(self, session: TuningSession) -> dict:
+        return {"pulls": {r: len(v) for r, v in self._rewards.items()}}
+
+    def state_dict(self) -> dict:
+        return {
+            "labels": self._labels,
+            "rewards": {r: list(v) for r, v in self._rewards.items()},
+            "warm_index": self._warm_index,
+            "warm_count": self._warm_count,
+            "warmup_done": self._warmup_done,
+            "last_region": self._last_region,
+        }
+
+    def load_state(self, state: dict, session: TuningSession) -> None:
+        self._labels = state["labels"]
+        self._build_regions(session)
+        self._rewards = {r: list(v) for r, v in state["rewards"].items()}
+        self._warm_index = state["warm_index"]
+        self._warm_count = state["warm_count"]
+        self._warmup_done = state["warmup_done"]
+        self._last_region = state["last_region"]
+        # The surrogate refits from scratch on every guided pick, so a
+        # fresh instance continues bit-identically.
+        self._model = session.problem.make_surrogate()
 
 
 @dataclass
@@ -78,79 +215,7 @@ class RegionBandit(TuningAlgorithm):
         if self.exploration < 0:
             raise ValueError("exploration must be non-negative")
 
-    def tune(self, problem: TuningProblem) -> AutotuneResult:
-        collector = problem.collector
-        m = problem.budget
-        configs = list(problem.pool_configs)
-        points = problem.workflow.space.normalize(configs)
-        labels = _kmeans(points, self.n_regions, problem.rng)
-        regions: dict[int, list] = {}
-        for config, region in zip(configs, labels):
-            regions.setdefault(int(region), []).append(config)
-
-        tracker = CandidateTracker(configs)
-        model = problem.make_surrogate()
-        rewards: dict[int, list] = {r: [] for r in regions}
-        trace: list[dict] = []
-
-        def remaining_in(region: int) -> list:
-            available = set(tracker.remaining)
-            return [c for c in regions[region] if c in available]
-
-        # -- warm-up: seed every region --------------------------------------
-        for region in sorted(regions):
-            for _ in range(self.warmup_per_region):
-                if collector.runs_remaining <= 0:
-                    break
-                candidates = remaining_in(region)
-                if not candidates:
-                    break
-                pick = problem.sample_unmeasured(candidates, 1)
-                tracker.mark(pick)
-                measured = collector.measure(pick)
-                for value in measured.values():
-                    rewards[region].append(value)
-
-        # -- UCB loop ----------------------------------------------------------
-        while collector.runs_remaining > 0:
-            measured_all = collector.measured
-            if not measured_all:
-                break
-            scale = float(np.median(list(measured_all.values())))
-            total_pulls = sum(len(v) for v in rewards.values())
-            best_region, best_ucb = None, -math.inf
-            for region in regions:
-                if not remaining_in(region):
-                    continue
-                pulls = rewards[region]
-                if not pulls:
-                    ucb = math.inf
-                else:
-                    mean_reward = float(np.mean([-v / scale for v in pulls]))
-                    ucb = mean_reward + self.exploration * math.sqrt(
-                        math.log(max(total_pulls, 2)) / len(pulls)
-                    )
-                if ucb > best_ucb:
-                    best_region, best_ucb = region, ucb
-            if best_region is None:
-                break
-            candidates = remaining_in(best_region)
-            if len(measured_all) >= 5:
-                model.fit(list(measured_all), list(measured_all.values()))
-                scores = model.predict(candidates)
-                pick = [candidates[int(np.argmin(scores))]]
-            else:
-                pick = problem.sample_unmeasured(candidates, 1)
-            tracker.mark(pick)
-            measured = collector.measure(pick)
-            for value in measured.values():
-                rewards[best_region].append(value)
-            trace.append(
-                {"region": best_region, "ucb": best_ucb, "picked": pick[0]}
-            )
-
-        measured_all = collector.measured
-        if len(measured_all) < 2:
-            raise RuntimeError("bandit obtained fewer than 2 samples")
-        model.fit(list(measured_all), list(measured_all.values()))
-        return AutotuneResult.from_collector(self.name, problem, model, trace)
+    def make_strategy(self) -> RegionBanditStrategy:
+        return RegionBanditStrategy(
+            self.n_regions, self.exploration, self.warmup_per_region
+        )

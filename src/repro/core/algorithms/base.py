@@ -1,72 +1,67 @@
-"""Algorithm base class and shared batching helpers."""
+"""Algorithm base class: a thin compatibility shim over the driver.
+
+Every algorithm is now a factory of a
+:class:`~repro.core.driver.SearchStrategy`; the shared
+:class:`~repro.core.driver.TuningDriver` owns the measurement loop,
+budget enforcement, telemetry, and checkpoint/resume.  ``tune()`` keeps
+its historical signature so :class:`~repro.core.autotuner.AutoTuner`,
+the experiment runner, benchmarks, and the CLI are unaffected.
+
+``split_batches`` and ``CandidateTracker`` moved to
+:mod:`repro.core.driver`; they are re-exported here for compatibility.
+"""
 
 from __future__ import annotations
 
 import abc
+from pathlib import Path
 
-import numpy as np
-
-from repro.config.space import Configuration
+from repro.core.driver import (
+    CandidateTracker,
+    SearchStrategy,
+    TuningDriver,
+    split_batches,
+)
 from repro.core.problem import AutotuneResult, TuningProblem
 
-__all__ = ["TuningAlgorithm", "split_batches", "CandidateTracker"]
+__all__ = [
+    "CandidateTracker",
+    "SearchStrategy",
+    "TuningAlgorithm",
+    "split_batches",
+]
 
 
 class TuningAlgorithm(abc.ABC):
-    """A budgeted auto-tuning algorithm."""
+    """A budgeted auto-tuning algorithm (strategy factory + driver)."""
 
     #: Display name used in reports and figures.
     name: str = "base"
 
     @abc.abstractmethod
-    def tune(self, problem: TuningProblem) -> AutotuneResult:
-        """Spend the problem's budget and return the final surrogate."""
+    def make_strategy(self) -> SearchStrategy:
+        """A fresh strategy instance carrying this algorithm's policy."""
+
+    def tune(
+        self,
+        problem: TuningProblem,
+        *,
+        checkpoint_path: str | Path | None = None,
+        resume: bool = False,
+        max_cycles: int | None = None,
+    ) -> AutotuneResult | None:
+        """Spend the problem's budget and return the final surrogate.
+
+        ``checkpoint_path`` / ``resume`` / ``max_cycles`` pass through
+        to :meth:`~repro.core.driver.TuningDriver.run`; the defaults
+        reproduce the historical one-shot behaviour exactly.
+        """
+        strategy = self.make_strategy()
+        strategy.name = self.name
+        driver = TuningDriver(checkpoint_path=checkpoint_path)
+        return driver.run(
+            strategy, problem, resume=resume, max_cycles=max_cycles
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}()"
-
-
-def split_batches(total: int, iterations: int) -> list[int]:
-    """Split ``total`` runs into ``iterations`` near-equal positive batches.
-
-    Earlier batches get the remainder so every iteration has work even
-    when ``total < iterations`` collapses the tail.
-    """
-    if total < 1:
-        raise ValueError("total must be >= 1")
-    if iterations < 1:
-        raise ValueError("iterations must be >= 1")
-    iterations = min(iterations, total)
-    base, extra = divmod(total, iterations)
-    return [base + (1 if i < extra else 0) for i in range(iterations)]
-
-
-class CandidateTracker:
-    """Tracks which pool configurations are still available to measure.
-
-    Collectors refuse to re-measure; with fault injection a run can also
-    fail (consuming budget without producing a sample), so algorithms
-    must track *attempted* configurations, not just successful ones.
-    """
-
-    def __init__(self, configs):
-        self._configs: list[Configuration] = [tuple(c) for c in configs]
-        self._attempted: set = set()
-
-    @property
-    def remaining(self) -> list[Configuration]:
-        """Pool configurations not yet attempted."""
-        return [c for c in self._configs if c not in self._attempted]
-
-    def mark(self, configs) -> None:
-        """Record configurations as attempted."""
-        self._attempted.update(tuple(c) for c in configs)
-
-    def take_top(self, scores: np.ndarray, candidates, n: int):
-        """The ``n`` best-scoring candidates (lower = better)."""
-        scores = np.asarray(scores, dtype=np.float64)
-        if scores.size != len(candidates):
-            raise ValueError("scores must align with candidates")
-        n = min(n, len(candidates))
-        order = np.argsort(scores, kind="stable")[:n]
-        return [candidates[i] for i in order]

@@ -21,17 +21,13 @@ from dataclasses import dataclass
 import numpy as np
 from scipy.stats import norm
 
-from repro.core.algorithms.base import (
-    CandidateTracker,
-    TuningAlgorithm,
-    split_batches,
-)
+from repro.core.algorithms.base import SearchStrategy, TuningAlgorithm
 from repro.core.component_models import ComponentModelSet
+from repro.core.driver import TuningSession
 from repro.core.low_fidelity import LowFidelityModel
-from repro.core.problem import AutotuneResult, TuningProblem
 from repro.ml.gaussian_process import GaussianProcessRegressor
 
-__all__ = ["BayesianOptimization"]
+__all__ = ["BayesianOptimization", "BayesianOptimizationStrategy"]
 
 
 class _GpPoolModel:
@@ -57,6 +53,138 @@ class _GpPoolModel:
         best = float(self.gp.to_latent(np.array([best_observed]))[0])
         z = (best - mean) / np.maximum(std, 1e-12)
         return (best - mean) * norm.cdf(z) + std * norm.pdf(z)
+
+
+class BayesianOptimizationStrategy(SearchStrategy):
+    """Batched expected-improvement acquisition over the pool."""
+
+    def __init__(
+        self,
+        name: str,
+        iterations: int,
+        initial_fraction: float,
+        bootstrap: bool,
+        component_runs_fraction: float,
+    ) -> None:
+        self.name = name
+        self.iterations = iterations
+        self.initial_fraction = initial_fraction
+        self.bootstrap = bootstrap
+        self.component_runs_fraction = component_runs_fraction
+        self._cycle = 0
+        self._plan: list[int] | None = None
+        self._component_data = None
+
+    def prepare(self, session: TuningSession) -> None:
+        problem = session.problem
+        m = session.budget
+        if self.bootstrap:
+            if problem.collector.histories:
+                self._component_data = problem.collector.free_component_history()
+                self._m_workflow = m
+            else:
+                n_batches = max(2, round(self.component_runs_fraction * m))
+                self._component_data = problem.collector.measure_components(
+                    n_batches, problem.rng
+                )
+                self._m_workflow = m - n_batches
+                session.annotate(component_batches=n_batches)
+            self._build_low_fidelity(session)
+        else:
+            self._m_workflow = m
+            self._low_fidelity = None
+        self._m_init = min(
+            max(2, round(self.initial_fraction * self._m_workflow)),
+            self._m_workflow - 1,
+        )
+        self._build_gp(session)
+
+    def _build_low_fidelity(self, session: TuningSession) -> None:
+        problem = session.problem
+        self._low_fidelity = LowFidelityModel(
+            ComponentModelSet.train(
+                problem.workflow,
+                problem.objective,
+                self._component_data,
+                random_state=problem.seed,
+            )
+        )
+
+    def _build_gp(self, session: TuningSession) -> None:
+        self._model = _GpPoolModel(
+            session.problem.workflow.encoder(), GaussianProcessRegressor()
+        )
+
+    def ask(self, session: TuningSession):
+        tracker = session.tracker
+        if self._cycle == 0:
+            self._cycle = 1
+            session.annotate(kind="seed")
+            if self.bootstrap:
+                n_random = max(1, self._m_init // 3)
+                seed_batch = session.problem.sample_unmeasured(
+                    tracker.remaining, n_random
+                )
+                tracker.mark(seed_batch)
+                candidates = tracker.remaining
+                top = tracker.take_top(
+                    self._low_fidelity.predict(candidates),
+                    candidates,
+                    self._m_init - n_random,
+                )
+                tracker.mark(top)
+                return seed_batch + top
+            seed_batch = session.problem.sample_unmeasured(
+                tracker.remaining, self._m_init
+            )
+            tracker.mark(seed_batch)
+            return seed_batch
+        if self._plan is None:
+            self._plan = session.plan_batches(
+                self._m_workflow - self._m_init, self.iterations
+            )
+        index = self._cycle - 1
+        if index >= len(self._plan):
+            return []
+        self._cycle += 1
+        measured = session.collector.measured
+        session.timed_fit(self._model, list(measured), list(measured.values()))
+        candidates = tracker.remaining
+        if not candidates:
+            return []
+        ei = self._model.expected_improvement(candidates, min(measured.values()))
+        batch = tracker.take_top(-ei, candidates, self._plan[index])
+        tracker.mark(batch)
+        session.annotate(max_ei=float(ei.max()))
+        return batch
+
+    def finalize(self, session: TuningSession):
+        measured = session.collector.measured
+        session.timed_fit(self._model, list(measured), list(measured.values()))
+        return self._model
+
+    def state_dict(self) -> dict:
+        return {
+            "cycle": self._cycle,
+            "plan": self._plan,
+            "component_data": self._component_data,
+            "m_workflow": self._m_workflow,
+            "m_init": self._m_init,
+        }
+
+    def load_state(self, state: dict, session: TuningSession) -> None:
+        self._cycle = state["cycle"]
+        self._plan = state["plan"]
+        self._component_data = state["component_data"]
+        self._m_workflow = state["m_workflow"]
+        self._m_init = state["m_init"]
+        if self.bootstrap:
+            self._build_low_fidelity(session)
+        else:
+            self._low_fidelity = None
+        # The GP refits from scratch on all measured data in every
+        # acquisition step, so a fresh instance continues bit-identically.
+        self._build_gp(session)
 
 
 @dataclass
@@ -87,71 +215,11 @@ class BayesianOptimization(TuningAlgorithm):
         if self.bootstrap:
             self.name = "CEAL-BO"
 
-    def tune(self, problem: TuningProblem) -> AutotuneResult:
-        m = problem.budget
-        tracker = CandidateTracker(problem.pool_configs)
-        trace: list[dict] = []
-
-        # -- seed batch -------------------------------------------------------
-        if self.bootstrap:
-            if problem.collector.histories:
-                component_data = problem.collector.free_component_history()
-                m_workflow = m
-            else:
-                n_batches = max(2, round(self.component_runs_fraction * m))
-                component_data = problem.collector.measure_components(
-                    n_batches, problem.rng
-                )
-                m_workflow = m - n_batches
-            low_fidelity = LowFidelityModel(
-                ComponentModelSet.train(
-                    problem.workflow,
-                    problem.objective,
-                    component_data,
-                    random_state=problem.seed,
-                )
-            )
-            m_init = max(2, round(self.initial_fraction * m_workflow))
-            m_init = min(m_init, m_workflow - 1)
-            n_random = max(1, m_init // 3)
-            seed_batch = problem.sample_unmeasured(tracker.remaining, n_random)
-            tracker.mark(seed_batch)
-            candidates = tracker.remaining
-            top = tracker.take_top(
-                low_fidelity.predict(candidates), candidates, m_init - n_random
-            )
-            tracker.mark(top)
-            seed_batch = seed_batch + top
-        else:
-            m_workflow = m
-            m_init = max(2, round(self.initial_fraction * m_workflow))
-            m_init = min(m_init, m_workflow - 1)
-            seed_batch = problem.sample_unmeasured(tracker.remaining, m_init)
-            tracker.mark(seed_batch)
-        problem.collector.measure(seed_batch)
-
-        # -- acquisition loop ----------------------------------------------------
-        model = _GpPoolModel(
-            problem.workflow.encoder(), GaussianProcessRegressor()
+    def make_strategy(self) -> BayesianOptimizationStrategy:
+        return BayesianOptimizationStrategy(
+            self.name,
+            self.iterations,
+            self.initial_fraction,
+            self.bootstrap,
+            self.component_runs_fraction,
         )
-        for i, batch_size in enumerate(
-            split_batches(m_workflow - m_init, self.iterations)
-        ):
-            measured = problem.collector.measured
-            model.fit(list(measured), list(measured.values()))
-            candidates = tracker.remaining
-            if not candidates:
-                break
-            ei = model.expected_improvement(
-                candidates, min(measured.values())
-            )
-            batch = tracker.take_top(-ei, candidates, batch_size)
-            tracker.mark(batch)
-            problem.collector.measure(batch)
-            trace.append(
-                {"iteration": i + 1, "batch": len(batch), "max_ei": float(ei.max())}
-            )
-
-        measured = problem.collector.measured
-        model.fit(list(measured), list(measured.values()))
-        return AutotuneResult.from_collector(self.name, problem, model, trace)

@@ -12,12 +12,77 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.algorithms.base import CandidateTracker, TuningAlgorithm
+from repro.core.algorithms.base import SearchStrategy, TuningAlgorithm
 from repro.core.component_models import ComponentModelSet
+from repro.core.driver import TuningSession
 from repro.core.low_fidelity import LowFidelityModel
-from repro.core.problem import AutotuneResult, TuningProblem
 
-__all__ = ["LowFidelityOnly"]
+__all__ = ["LowFidelityOnly", "LowFidelityOnlyStrategy"]
+
+
+class LowFidelityOnlyStrategy(SearchStrategy):
+    """Rank the pool with the ACM, measure its top picks, return the ACM."""
+
+    name = "LowFid"
+
+    def __init__(self, component_runs_fraction: float) -> None:
+        self.component_runs_fraction = component_runs_fraction
+        self._asked = False
+
+    def prepare(self, session: TuningSession) -> None:
+        problem = session.problem
+        collector = problem.collector
+        m = session.budget
+        if collector.histories:
+            self._component_data = collector.free_component_history()
+            self._m_workflow = m
+        else:
+            n_batches = max(2, round(self.component_runs_fraction * m))
+            self._component_data = collector.measure_components(
+                n_batches, problem.rng
+            )
+            self._m_workflow = m - n_batches
+            session.annotate(component_batches=n_batches)
+        self._build_model(session)
+
+    def _build_model(self, session: TuningSession) -> None:
+        problem = session.problem
+        self._model = LowFidelityModel(
+            ComponentModelSet.train(
+                problem.workflow,
+                problem.objective,
+                self._component_data,
+                random_state=problem.seed,
+            )
+        )
+
+    def ask(self, session: TuningSession):
+        if self._asked:
+            return []
+        self._asked = True
+        tracker = session.tracker
+        candidates = tracker.remaining
+        top = tracker.take_top(
+            self._model.predict(candidates), candidates, self._m_workflow
+        )
+        tracker.mark(top)
+        return top
+
+    def finalize(self, session: TuningSession):
+        return self._model
+
+    def state_dict(self) -> dict:
+        return {
+            "asked": self._asked,
+            "component_data": self._component_data,
+            "m_workflow": self._m_workflow,
+        }
+
+    def load_state(self, state: dict, session: TuningSession) -> None:
+        self._asked = state["asked"]
+        self._component_data = state["component_data"]
+        self._m_workflow = state["m_workflow"]
+        self._build_model(session)
 
 
 @dataclass
@@ -33,28 +98,5 @@ class LowFidelityOnly(TuningAlgorithm):
     component_runs_fraction: float = 0.5
     name: str = "LowFid"
 
-    def tune(self, problem: TuningProblem) -> AutotuneResult:
-        collector = problem.collector
-        m = problem.budget
-        if collector.histories:
-            component_data = collector.free_component_history()
-            m_workflow = m
-        else:
-            n_batches = max(2, round(self.component_runs_fraction * m))
-            component_data = collector.measure_components(n_batches, problem.rng)
-            m_workflow = m - n_batches
-        model = LowFidelityModel(
-            ComponentModelSet.train(
-                problem.workflow,
-                problem.objective,
-                component_data,
-                random_state=problem.seed,
-            )
-        )
-        tracker = CandidateTracker(problem.pool_configs)
-        candidates = tracker.remaining
-        top = tracker.take_top(
-            model.predict(candidates), candidates, m_workflow
-        )
-        collector.measure(top)
-        return AutotuneResult.from_collector(self.name, problem, model)
+    def make_strategy(self) -> LowFidelityOnlyStrategy:
+        return LowFidelityOnlyStrategy(self.component_runs_fraction)

@@ -9,10 +9,44 @@ accurate everywhere but not *especially* accurate where it matters
 
 from __future__ import annotations
 
-from repro.core.algorithms.base import CandidateTracker, TuningAlgorithm
-from repro.core.problem import AutotuneResult, TuningProblem
+from repro.core.algorithms.base import SearchStrategy, TuningAlgorithm
+from repro.core.driver import TuningSession
 
-__all__ = ["RandomSampling"]
+__all__ = ["RandomSampling", "RandomSamplingStrategy"]
+
+
+class RandomSamplingStrategy(SearchStrategy):
+    """One random batch of the full budget, one fit."""
+
+    name = "RS"
+
+    def __init__(self) -> None:
+        self._asked = False
+
+    def ask(self, session: TuningSession):
+        if self._asked:
+            return []
+        self._asked = True
+        session.annotate(kind="seed")
+        batch = session.problem.sample_unmeasured(
+            session.tracker.remaining, session.budget
+        )
+        session.tracker.mark(batch)
+        return batch
+
+    def finalize(self, session: TuningSession):
+        measured = session.collector.measured
+        if len(measured) < 2:
+            raise RuntimeError("random sampling obtained fewer than 2 samples")
+        model = session.problem.make_surrogate()
+        session.timed_fit(model, list(measured), list(measured.values()))
+        return model
+
+    def state_dict(self) -> dict:
+        return {"asked": self._asked}
+
+    def load_state(self, state: dict, session: TuningSession) -> None:
+        self._asked = state["asked"]
 
 
 class RandomSampling(TuningAlgorithm):
@@ -20,15 +54,5 @@ class RandomSampling(TuningAlgorithm):
 
     name = "RS"
 
-    def tune(self, problem: TuningProblem) -> AutotuneResult:
-        tracker = CandidateTracker(problem.pool_configs)
-        batch = problem.sample_unmeasured(tracker.remaining, problem.budget)
-        tracker.mark(batch)
-        problem.collector.measure(batch)
-        measured = problem.collector.measured
-        if len(measured) < 2:
-            raise RuntimeError("random sampling obtained fewer than 2 samples")
-        model = problem.make_surrogate().fit(
-            list(measured), list(measured.values())
-        )
-        return AutotuneResult.from_collector(self.name, problem, model)
+    def make_strategy(self) -> RandomSamplingStrategy:
+        return RandomSamplingStrategy()

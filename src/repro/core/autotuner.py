@@ -83,6 +83,13 @@ class AutoTuner:
         Reproducibility seed for pool sampling and tuning randomness.
     noise_sigma:
         Measurement-noise level of the simulated runs.
+    checkpoint_path:
+        When set, the tuning session checkpoints its resumable state
+        here after every measurement cycle (see
+        :mod:`repro.core.driver`).
+    resume:
+        Restore the session from ``checkpoint_path`` and finish it; the
+        completed run is bit-identical to an uninterrupted one.
     """
 
     workflow: WorkflowDefinition
@@ -95,6 +102,8 @@ class AutoTuner:
     noise_sigma: float = 0.05
     history_size: int = 500
     pool: MeasuredPool | None = None
+    checkpoint_path: str | None = None
+    resume: bool = False
 
     def __post_init__(self) -> None:
         if isinstance(self.objective, str):
@@ -125,7 +134,16 @@ class AutoTuner:
             seed=self.seed,
             histories=histories,
         )
-        result = self.algorithm.tune(problem)
+        # Only forward checkpoint options when asked for: user-supplied
+        # algorithms may override ``tune(problem)`` without them.
+        if self.checkpoint_path is not None or self.resume:
+            result = self.algorithm.tune(
+                problem,
+                checkpoint_path=self.checkpoint_path,
+                resume=self.resume,
+            )
+        else:
+            result = self.algorithm.tune(problem)
         best_config = result.best_config(pool)
         best_value = result.best_actual_value(pool)
         return TuningOutcome(

@@ -12,6 +12,12 @@ with the currently selected model → take its top ``m_B``.  The switch
 detector hands ranking over to ``M_H`` once its batch recall beats
 ``M_L``'s, and injects reserved random samples if ``M_H`` looks biased
 (Alg. 1 lines 16–24).
+
+The measurement loop itself lives in
+:class:`~repro.core.driver.TuningDriver`; :class:`CealStrategy` supplies
+the proposal policy through the ask/tell contract and reports each
+iteration's switch-detector state as a typed
+:class:`~repro.core.driver.ModelSwitchState`.
 """
 
 from __future__ import annotations
@@ -20,13 +26,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.algorithms.base import CandidateTracker, TuningAlgorithm
+from repro.core.algorithms.base import SearchStrategy, TuningAlgorithm
 from repro.core.component_models import ComponentModelSet
+from repro.core.driver import ModelSwitchState, TuningSession, clip_to_budget
 from repro.core.low_fidelity import LowFidelityModel
 from repro.core.model_switch import ModelSwitchDetector
-from repro.core.problem import AutotuneResult, TuningProblem
 
-__all__ = ["CealSettings", "Ceal"]
+__all__ = ["CealSettings", "Ceal", "CealStrategy"]
 
 
 @dataclass(frozen=True)
@@ -97,6 +103,275 @@ class CealSettings:
         return m_r, m_0, iters
 
 
+class CealStrategy(SearchStrategy):
+    """The ask/tell form of Alg. 1.
+
+    ``ask`` hands the driver whatever Alg. 1 queued for measurement
+    (seed batch, model-guided top picks, bias-guard injections, then a
+    residual sweep for rounding leftovers); ``tell`` runs the
+    model-switch detection and retrains ``M_H``.
+    """
+
+    name = "CEAL"
+
+    def __init__(self, settings: CealSettings) -> None:
+        self.settings = settings
+        self._pending: list = []
+        self._i = 0
+        self._phase = "loop"
+        self._cycle_kind = "iteration"
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def prepare(self, session: TuningSession) -> None:
+        problem = session.problem
+        collector = problem.collector
+        m = session.budget
+        self.m_r, self.m_0, self.iterations = self.settings.resolve(m)
+
+        # -- Phase 1: low-fidelity model (Alg. 1 lines 1–6) -------------------
+        if self.settings.use_history and collector.histories:
+            self._component_data = collector.free_component_history()
+        elif self.m_r > 0:
+            self._component_data = collector.measure_components(
+                self.m_r, problem.rng
+            )
+        else:
+            self._component_data = (
+                collector.free_component_history() if collector.histories else {}
+            )
+        self._build_low_fidelity(session)
+
+        # -- Phase 2 bootstrap (lines 7–12) -----------------------------------
+        tracker = session.tracker
+        self.m0_used = max(1, self.m_0 // 2)  # m'_0 (line 7)
+        self.m_b = max(1, (m - self.m_0 - self.m_r) // self.iterations)  # line 8
+        to_measure = problem.sample_unmeasured(tracker.remaining, self.m0_used)
+        tracker.mark(to_measure)
+        candidates = tracker.remaining
+        low_scores = self.low_fidelity.predict(candidates)
+        top = tracker.take_top(
+            low_scores,
+            candidates,
+            min(self.m_b, collector.runs_remaining - len(to_measure)),
+        )
+        tracker.mark(top)
+        self._pending = to_measure + top
+
+        self.high_fidelity = problem.make_surrogate()  # M_H (line 12)
+        self.detector = ModelSwitchDetector()
+        self.use_high = False  # M = M_L (line 11)
+        session.annotate(
+            m_r=self.m_r, m_0=self.m_0, iterations=self.iterations
+        )
+
+    def _build_low_fidelity(self, session: TuningSession) -> None:
+        problem = session.problem
+        component_models = ComponentModelSet.train(
+            problem.workflow,
+            problem.objective,
+            self._component_data,
+            random_state=problem.seed,
+        )
+        self.low_fidelity = LowFidelityModel(component_models)
+
+    def _selected_model(self):
+        if self.use_high and self.high_fidelity.is_fitted:
+            return self.high_fidelity
+        return self.low_fidelity
+
+    # -- ask/tell -------------------------------------------------------------
+
+    def ask(self, session: TuningSession):
+        collector = session.collector
+        tracker = session.tracker
+        if self._phase == "loop":
+            if self._i >= self.iterations:
+                self._phase = "residual"
+            else:
+                self._i += 1
+                batch = clip_to_budget(self._pending, collector)
+                self._pending = []
+                if batch:
+                    self._cycle_kind = "loop"
+                    if self._i == 1:
+                        session.annotate(kind="seed")
+                    return batch
+                self._phase = "residual"
+        if self._phase == "residual":
+            # Spend any residual budget (rounding, unused random
+            # reserve) on the selected model's current top picks.
+            self._phase = "done"
+            residual = collector.runs_remaining
+            candidates = tracker.remaining
+            if residual > 0 and candidates:
+                model = self._selected_model()
+                scores = model.predict(candidates)
+                top = tracker.take_top(
+                    scores, candidates, min(residual, len(candidates))
+                )
+                tracker.mark(top)
+                self._cycle_kind = "residual"
+                session.annotate(kind="residual")
+                return top
+        return []
+
+    def tell(self, session: TuningSession, batch, results: dict) -> None:
+        if self._cycle_kind == "residual":
+            measured = session.collector.measured
+            if len(measured) >= 2:
+                session.timed_fit(
+                    self.high_fidelity,
+                    list(measured),
+                    np.array(list(measured.values())),
+                )
+            return
+        self._tell_iteration(session, results)
+
+    def _tell_iteration(self, session: TuningSession, results: dict) -> None:
+        collector = session.collector
+        tracker = session.tracker
+        batch_configs = list(results)
+        batch_values = np.array(list(results.values()))
+        measured = collector.measured
+        all_configs = list(measured)
+        all_values = np.array(list(measured.values()))
+
+        decision = None
+        if (
+            self.settings.switch_enabled
+            and not self.use_high
+            and len(batch_configs) >= 1
+        ):
+            # -- model switch detection (lines 16–24) -------------------------
+            batch_low = self.low_fidelity.predict(batch_configs)
+            if self.high_fidelity.is_fitted:
+                batch_high = self.high_fidelity.predict(batch_configs)
+                all_high = self.high_fidelity.predict(all_configs)
+            else:
+                batch_high = None
+                all_high = None
+            decision = self.detector.evaluate(
+                batch_low, batch_high, batch_values, all_high, all_values
+            )
+            if (
+                self.settings.bias_guard_enabled
+                and decision.inject_random
+                and self.m0_used < self.m_0
+            ):
+                n_extra = max(1, (self.m_0 - self.m0_used) // 2)  # lines 20–22
+                n_extra = min(
+                    n_extra, collector.runs_remaining, len(tracker.remaining)
+                )
+                if n_extra > 0:
+                    extra = session.problem.sample_unmeasured(
+                        tracker.remaining, n_extra
+                    )
+                    tracker.mark(extra)
+                    self._pending.extend(extra)
+                    self.m0_used += n_extra
+            if decision.switch:
+                self.use_high = True  # line 23
+                # Unreserved random budget reinforces later batches
+                # (line 24).
+                self.m_b += max(
+                    0,
+                    (self.m_0 - self.m0_used)
+                    // max(self.iterations - self._i, 1),
+                )
+
+        if len(measured) >= 2:
+            session.timed_fit(self.high_fidelity, all_configs, all_values)  # line 25
+
+        session.annotate(
+            model_switch=ModelSwitchState(
+                model="high" if self.use_high else "low",
+                s_high=decision.s_high if decision else None,
+                s_low=decision.s_low if decision else None,
+                switched=bool(decision.switch) if decision else False,
+                injected=len(self._pending),
+            )
+        )
+
+        if self._i >= self.iterations:
+            return
+        # -- select the next batch (lines 26–27) ------------------------------
+        candidates = tracker.remaining
+        if not candidates:
+            return
+        model = self._selected_model()
+        scores = model.predict(candidates)
+        remaining_iters = self.iterations - self._i
+        budget_left = collector.runs_remaining - len(self._pending)
+        take = self.m_b if remaining_iters > 1 else budget_left
+        take = max(0, min(take, budget_left))
+        top = tracker.take_top(scores, candidates, take)
+        tracker.mark(top)
+        self._pending.extend(top)
+
+    def finalize(self, session: TuningSession):
+        # Alg. 1 line 28 returns M_H; Fig. 3 however feeds the *selected*
+        # model into configuration evaluation.  When the switch detector
+        # never certified M_H (its batch recall never reached M_L's),
+        # returning it would hand the searcher a model that demonstrably
+        # ranks worse than the low-fidelity one, so the selected model is
+        # returned instead.
+        return self._selected_model()
+
+    def summary(self, session: TuningSession) -> dict:
+        return {
+            "switched": self.use_high,
+            "m_r": self.m_r,
+            "m_0": self.m_0,
+            "iterations": self.iterations,
+        }
+
+    # -- checkpointing --------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "m_r": self.m_r,
+            "m_0": self.m_0,
+            "iterations": self.iterations,
+            "m0_used": self.m0_used,
+            "m_b": self.m_b,
+            "use_high": self.use_high,
+            "high_fitted": self.high_fidelity.is_fitted,
+            "detector_switched": self.detector.switched,
+            "pending": list(self._pending),
+            "i": self._i,
+            "phase": self._phase,
+            "cycle_kind": self._cycle_kind,
+            "component_data": self._component_data,
+        }
+
+    def load_state(self, state: dict, session: TuningSession) -> None:
+        problem = session.problem
+        self.m_r = state["m_r"]
+        self.m_0 = state["m_0"]
+        self.iterations = state["iterations"]
+        self.m0_used = state["m0_used"]
+        self.m_b = state["m_b"]
+        self.use_high = state["use_high"]
+        self._pending = list(state["pending"])
+        self._i = state["i"]
+        self._phase = state["phase"]
+        self._cycle_kind = state["cycle_kind"]
+        self._component_data = state["component_data"]
+        # Models are rebuilt, not unpickled: retraining on the restored
+        # component/workflow data is deterministic, so the resumed
+        # session continues bit-identically.
+        self._build_low_fidelity(session)
+        self.high_fidelity = problem.make_surrogate()
+        if state["high_fitted"]:
+            measured = session.collector.measured
+            self.high_fidelity.fit(
+                list(measured), np.array(list(measured.values()))
+            )
+        self.detector = ModelSwitchDetector()
+        self.detector.switched = state["detector_switched"]
+
+
 @dataclass
 class Ceal(TuningAlgorithm):
     """The paper's auto-tuning algorithm."""
@@ -104,160 +379,5 @@ class Ceal(TuningAlgorithm):
     settings: CealSettings = CealSettings()
     name: str = "CEAL"
 
-    def tune(self, problem: TuningProblem) -> AutotuneResult:
-        collector = problem.collector
-        m = problem.budget
-        m_r, m_0, iterations = self.settings.resolve(m)
-        trace: list[dict] = []
-
-        # -- Phase 1: low-fidelity model (Alg. 1 lines 1–6) -----------------
-        if self.settings.use_history and collector.histories:
-            component_data = collector.free_component_history()
-        elif m_r > 0:
-            component_data = collector.measure_components(m_r, problem.rng)
-        else:
-            component_data = (
-                collector.free_component_history() if collector.histories else {}
-            )
-        component_models = ComponentModelSet.train(
-            problem.workflow,
-            problem.objective,
-            component_data,
-            random_state=problem.seed,
-        )
-        low_fidelity = LowFidelityModel(component_models)
-
-        # -- Phase 2: bootstrapped active learning (lines 7–28) ---------------
-        tracker = CandidateTracker(problem.pool_configs)
-        m0_used = max(1, m_0 // 2)  # m'_0 (line 7)
-        m_b = max(1, (m - m_0 - m_r) // iterations)  # line 8
-
-        to_measure = problem.sample_unmeasured(tracker.remaining, m0_used)
-        tracker.mark(to_measure)
-        candidates = tracker.remaining
-        low_scores = low_fidelity.predict(candidates)
-        top = tracker.take_top(low_scores, candidates, min(m_b, collector.runs_remaining - len(to_measure)))
-        tracker.mark(top)
-        to_measure = to_measure + top
-
-        high_fidelity = problem.make_surrogate()  # M_H (line 12)
-        detector = ModelSwitchDetector()
-        use_high = False  # M = M_L (line 11)
-
-        for i in range(1, iterations + 1):
-            to_measure = to_measure[: collector.runs_remaining]
-            if not to_measure:
-                break
-            batch_results = collector.measure(to_measure)  # line 14
-            to_measure = []
-            batch_configs = list(batch_results)
-            batch_values = np.array(list(batch_results.values()))
-            measured = collector.measured
-            all_configs = list(measured)
-            all_values = np.array(list(measured.values()))
-
-            decision = None
-            if (
-                self.settings.switch_enabled
-                and not use_high
-                and len(batch_configs) >= 1
-            ):
-                # -- model switch detection (lines 16–24) ----------------
-                batch_low = low_fidelity.predict(batch_configs)
-                if high_fidelity.is_fitted:
-                    batch_high = high_fidelity.predict(batch_configs)
-                    all_high = high_fidelity.predict(all_configs)
-                else:
-                    batch_high = None
-                    all_high = None
-                decision = detector.evaluate(
-                    batch_low, batch_high, batch_values, all_high, all_values
-                )
-                if (
-                    self.settings.bias_guard_enabled
-                    and decision.inject_random
-                    and m0_used < m_0
-                ):
-                    n_extra = max(1, (m_0 - m0_used) // 2)  # lines 20–22
-                    n_extra = min(
-                        n_extra, collector.runs_remaining, len(tracker.remaining)
-                    )
-                    if n_extra > 0:
-                        extra = problem.sample_unmeasured(
-                            tracker.remaining, n_extra
-                        )
-                        tracker.mark(extra)
-                        to_measure.extend(extra)
-                        m0_used += n_extra
-                if decision.switch:
-                    use_high = True  # line 23
-                    # Unreserved random budget reinforces later batches
-                    # (line 24).
-                    m_b += max(0, (m_0 - m0_used) // max(iterations - i, 1))
-
-            if len(measured) >= 2:
-                high_fidelity.fit(all_configs, all_values)  # line 25
-
-            trace.append(
-                {
-                    "iteration": i,
-                    "samples": len(measured),
-                    "model": "high" if use_high else "low",
-                    "s_high": decision.s_high if decision else None,
-                    "s_low": decision.s_low if decision else None,
-                    "injected": len(to_measure),
-                }
-            )
-
-            if i == iterations:
-                break
-            # -- select the next batch (lines 26–27) ----------------------
-            candidates = tracker.remaining
-            if not candidates:
-                break
-            model = high_fidelity if (use_high and high_fidelity.is_fitted) else low_fidelity
-            scores = model.predict(candidates)
-            remaining_iters = iterations - i
-            budget_left = collector.runs_remaining - len(to_measure)
-            take = m_b if remaining_iters > 1 else budget_left
-            take = max(0, min(take, budget_left))
-            top = tracker.take_top(scores, candidates, take)
-            tracker.mark(top)
-            to_measure.extend(top)
-
-        # Spend any residual budget (rounding, unused random reserve) on
-        # the selected model's current top picks, then refit.
-        residual = collector.runs_remaining
-        if residual > 0 and tracker.remaining:
-            model = high_fidelity if (use_high and high_fidelity.is_fitted) else low_fidelity
-            candidates = tracker.remaining
-            scores = model.predict(candidates)
-            top = tracker.take_top(scores, candidates, min(residual, len(candidates)))
-            tracker.mark(top)
-            collector.measure(top)
-            measured = collector.measured
-            if len(measured) >= 2:
-                high_fidelity.fit(list(measured), np.array(list(measured.values())))
-
-        # Alg. 1 line 28 returns M_H; Fig. 3 however feeds the *selected*
-        # model into configuration evaluation.  When the switch detector
-        # never certified M_H (its batch recall never reached M_L's),
-        # returning it would hand the searcher a model that demonstrably
-        # ranks worse than the low-fidelity one, so the selected model is
-        # returned instead.
-        final_model = (
-            high_fidelity
-            if (use_high and high_fidelity.is_fitted)
-            else low_fidelity
-        )
-        result = AutotuneResult.from_collector(self.name, problem, final_model, trace)
-        result.trace.append(
-            {
-                "low_fidelity": low_fidelity,
-                "switched": use_high,
-                "m_r": m_r,
-                "m_0": m_0,
-                "iterations": iterations,
-            }
-        )
-        return result
+    def make_strategy(self) -> CealStrategy:
+        return CealStrategy(self.settings)

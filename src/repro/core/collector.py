@@ -19,6 +19,7 @@ consumes budget and cost but yields no training sample.
 
 from __future__ import annotations
 
+import math
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
@@ -92,10 +93,15 @@ class Collector:
     # -- budget ---------------------------------------------------------------
 
     @property
-    def runs_remaining(self) -> int:
-        """Remaining run budget (a large number when unenforced)."""
+    def runs_remaining(self) -> int | float:
+        """Remaining run budget (``math.inf`` when unenforced).
+
+        Returning infinity instead of a magic sentinel keeps unenforced
+        budgets honest in reports: arithmetic and comparisons behave,
+        and the value can never masquerade as a real remaining count.
+        """
         if self.budget_runs is None:
-            return 10**9
+            return math.inf
         return self.budget_runs - self.runs_used
 
     def _charge(self, runs: int) -> None:
@@ -139,6 +145,11 @@ class Collector:
     def measured(self) -> dict:
         """All successful workflow measurements so far ``{config: value}``."""
         return dict(self._measured)
+
+    @property
+    def n_measured(self) -> int:
+        """Number of successful workflow measurements so far."""
+        return len(self._measured)
 
     def measurement_of(self, config: Configuration) -> WorkflowMeasurement:
         """Full measurement record of an already-measured configuration."""
@@ -194,6 +205,33 @@ class Collector:
             )
             for label, history in self.histories.items()
         }
+
+    # -- checkpointing --------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Picklable snapshot of all mutable accounting state.
+
+        Preserves the measured-dict insertion order and the failure
+        RNG's bit-generator state, so a collector restored into a fresh
+        session continues bit-identically.
+        """
+        return {
+            "runs_used": self.runs_used,
+            "cost_execution_seconds": self.cost_execution_seconds,
+            "cost_core_hours": self.cost_core_hours,
+            "failures": self.failures,
+            "measured": tuple(self._measured.items()),
+            "fail_rng_state": self._fail_rng.bit_generator.state,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        self.runs_used = state["runs_used"]
+        self.cost_execution_seconds = state["cost_execution_seconds"]
+        self.cost_core_hours = state["cost_core_hours"]
+        self.failures = state["failures"]
+        self._measured = dict(state["measured"])
+        self._fail_rng.bit_generator.state = state["fail_rng_state"]
 
     def cost(self, objective: Objective | None = None) -> float:
         """Accumulated data-collection cost ``c`` in objective units."""

@@ -1,0 +1,541 @@
+"""The tuning driver: one instrumented, resumable measurement loop.
+
+The paper's Fig. 3 loop (collector → modeler → searcher) used to be
+reimplemented privately by every algorithm.  This module factors it into
+two halves with an ask/tell contract:
+
+* a :class:`SearchStrategy` owns the *proposal policy* — which
+  configurations to measure next (``ask``), how to digest fresh
+  measurements (``tell``), and which model to hand the searcher
+  (``finalize``);
+* the :class:`TuningDriver` owns the *measurement loop* — budget
+  enforcement against the collector, fault-tolerant continuation after
+  injected failures (failed runs consume budget and are reported to the
+  strategy through ``tell`` so it can re-propose from the remaining
+  pool), wall-clock timing of model fits, emission of typed per-cycle
+  :class:`TuningEvent` records, and session checkpoint/resume.
+
+Checkpointing serialises only *logical* state (measured set, RNG state,
+counters, event log, raw component measurements) — never fitted models
+or workflow objects.  Because every model fit in this codebase is a
+deterministic function of (training data, random_state), strategies
+rebuild their models on resume by refitting on the restored data, and a
+resumed session finishes bit-identically to an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+import os
+import pickle
+import time
+from collections.abc import Sequence
+from dataclasses import dataclass, field, fields
+from pathlib import Path
+
+import numpy as np
+
+from repro.config.space import Configuration
+from repro.core.problem import AutotuneResult, TuningProblem
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "CandidateTracker",
+    "CheckpointError",
+    "clip_to_budget",
+    "ModelSwitchState",
+    "SearchStrategy",
+    "TuningDriver",
+    "TuningEvent",
+    "TuningSession",
+    "load_checkpoint",
+    "save_checkpoint",
+    "split_batches",
+]
+
+
+def split_batches(total: int, iterations: int) -> list[int]:
+    """Split ``total`` runs into ``iterations`` near-equal positive batches.
+
+    Earlier batches get the remainder so every iteration has work even
+    when ``total < iterations`` collapses the tail.
+    """
+    if total < 1:
+        raise ValueError("total must be >= 1")
+    if iterations < 1:
+        raise ValueError("iterations must be >= 1")
+    iterations = min(iterations, total)
+    base, extra = divmod(total, iterations)
+    return [base + (1 if i < extra else 0) for i in range(iterations)]
+
+
+class CandidateTracker:
+    """Tracks which pool configurations are still available to measure.
+
+    Collectors refuse to re-measure; with fault injection a run can also
+    fail (consuming budget without producing a sample), so strategies
+    must track *attempted* configurations, not just successful ones.
+
+    ``remaining`` is maintained incrementally: marking configurations
+    flags the cached list stale and the next access filters it once, so
+    repeated reads between marks are O(1) instead of rebuilding an
+    O(pool) list on every call.  The returned list is a snapshot —
+    later marks rebind the cache rather than mutating it — but callers
+    must still treat it as read-only.
+    """
+
+    def __init__(self, configs):
+        self._remaining: list[Configuration] = [tuple(c) for c in configs]
+        self._attempted: set = set()
+        self._stale = False
+
+    @property
+    def remaining(self) -> list[Configuration]:
+        """Pool configurations not yet attempted (treat as read-only)."""
+        if self._stale:
+            self._remaining = [
+                c for c in self._remaining if c not in self._attempted
+            ]
+            self._stale = False
+        return self._remaining
+
+    def mark(self, configs) -> None:
+        """Record configurations as attempted."""
+        for config in configs:
+            config = tuple(config)
+            if config not in self._attempted:
+                self._attempted.add(config)
+                self._stale = True
+
+    def take_top(self, scores: np.ndarray, candidates, n: int):
+        """The ``n`` best-scoring candidates (lower = better)."""
+        scores = np.asarray(scores, dtype=np.float64)
+        if scores.size != len(candidates):
+            raise ValueError("scores must align with candidates")
+        n = min(n, len(candidates))
+        order = np.argsort(scores, kind="stable")[:n]
+        return [candidates[i] for i in order]
+
+    def state_dict(self) -> dict:
+        """Picklable snapshot (preserves the remaining-list order)."""
+        return {
+            "remaining": list(self.remaining),
+            "attempted": set(self._attempted),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._remaining = list(state["remaining"])
+        self._attempted = set(state["attempted"])
+        self._stale = False
+
+
+@dataclass(frozen=True)
+class ModelSwitchState:
+    """CEAL's per-iteration model-switch diagnostics (Alg. 1 lines 16–24).
+
+    Attributes
+    ----------
+    model:
+        Which model ranks the pool after this iteration (``"low"`` or
+        ``"high"``).
+    s_high, s_low:
+        Summed top-1/2/3 batch recall of each model (``None`` before the
+        detector could score them).
+    switched:
+        Whether this iteration's detection handed ranking to ``M_H``.
+    injected:
+        Reserved random samples injected by the bias guard (line 20).
+    """
+
+    model: str
+    s_high: float | None
+    s_low: float | None
+    switched: bool
+    injected: int
+
+
+@dataclass(frozen=True)
+class TuningEvent:
+    """One typed per-cycle telemetry record of a tuning session.
+
+    Replaces the untyped per-algorithm ``trace`` dicts.  ``fit_seconds``
+    is the only field that is not deterministic across runs (it is
+    wall-clock time); comparisons of event logs should exclude it
+    (:meth:`as_dict` with ``include_timing=False``).
+
+    Attributes
+    ----------
+    kind:
+        ``"setup"`` (component/bootstrap phase), ``"seed"``,
+        ``"iteration"``, ``"warmup"``, ``"residual"``, or ``"final"``.
+    iteration:
+        Measurement-cycle index (0 for setup; the final event repeats
+        the last cycle's index).
+    batch:
+        Configurations proposed and charged this cycle.
+    results:
+        ``((config, value), ...)`` of the successful measurements, in
+        measurement order.
+    failures:
+        Fault-injected runs this cycle (charged, no sample).
+    fit_seconds:
+        Wall-clock seconds spent in model fits since the previous event.
+    runs_used, samples:
+        Collector accounting after this cycle.
+    detail:
+        Strategy-specific extras (e.g. bandit region/UCB, GEIST
+        exploration share, BO max EI).
+    model_switch:
+        CEAL's switch-detector state for this cycle, if any.
+    """
+
+    kind: str
+    iteration: int
+    batch: tuple[Configuration, ...]
+    results: tuple[tuple[Configuration, float], ...]
+    failures: int
+    fit_seconds: float
+    runs_used: int
+    samples: int
+    detail: dict = field(default_factory=dict)
+    model_switch: ModelSwitchState | None = None
+
+    def as_dict(self, include_timing: bool = True) -> dict:
+        """Plain-dict form for serialisation and comparisons."""
+        out = {f.name: getattr(self, f.name) for f in fields(self)}
+        out["detail"] = dict(self.detail)
+        if self.model_switch is not None:
+            out["model_switch"] = {
+                f.name: getattr(self.model_switch, f.name)
+                for f in fields(self.model_switch)
+            }
+        if not include_timing:
+            del out["fit_seconds"]
+        return out
+
+
+@dataclass
+class TuningSession:
+    """Mutable state of one driving loop, shared with the strategy.
+
+    Strategies read the problem, draw from ``rng`` (via
+    ``problem.sample_unmeasured``), track attempted configurations in
+    the shared ``tracker``, and report through ``annotate`` /
+    ``timed_fit``; the driver owns event emission and checkpointing.
+    """
+
+    problem: TuningProblem
+    tracker: CandidateTracker
+    iteration: int = 0
+    events: list[TuningEvent] = field(default_factory=list)
+    fit_seconds_total: float = 0.0
+    _pending_fit: float = field(default=0.0, repr=False)
+    _pending_detail: dict = field(default_factory=dict, repr=False)
+    _pending_switch: ModelSwitchState | None = field(default=None, repr=False)
+    _pending_kind: str | None = field(default=None, repr=False)
+
+    @classmethod
+    def start(cls, problem: TuningProblem) -> "TuningSession":
+        return cls(problem=problem, tracker=CandidateTracker(problem.pool_configs))
+
+    @property
+    def collector(self):
+        return self.problem.collector
+
+    @property
+    def rng(self) -> np.random.Generator:
+        return self.problem.rng
+
+    @property
+    def budget(self) -> int:
+        return self.problem.budget
+
+    def plan_batches(self, total: int, iterations: int) -> list[int]:
+        """The driver's batching policy (`split_batches`), recorded."""
+        plan = split_batches(total, iterations)
+        self.annotate(batch_plan=tuple(plan))
+        return plan
+
+    def timed_fit(self, model, configs, values):
+        """Fit ``model`` and charge the wall-clock time to this cycle."""
+        started = time.perf_counter()
+        out = model.fit(configs, values)
+        self._pending_fit += time.perf_counter() - started
+        return out
+
+    def annotate(
+        self,
+        *,
+        kind: str | None = None,
+        model_switch: ModelSwitchState | None = None,
+        **detail,
+    ) -> None:
+        """Attach strategy-specific payload to the next emitted event."""
+        if kind is not None:
+            self._pending_kind = kind
+        if model_switch is not None:
+            self._pending_switch = model_switch
+        self._pending_detail.update(detail)
+
+    @property
+    def has_pending(self) -> bool:
+        return bool(
+            self._pending_detail
+            or self._pending_fit
+            or self._pending_switch is not None
+        )
+
+    def emit(self, *, kind: str, batch, results: dict) -> TuningEvent:
+        """Flush pending annotations into a new :class:`TuningEvent`."""
+        fit_seconds = self._pending_fit
+        self.fit_seconds_total += fit_seconds
+        event = TuningEvent(
+            kind=self._pending_kind or kind,
+            iteration=self.iteration,
+            batch=tuple(tuple(c) for c in batch),
+            results=tuple(results.items()),
+            failures=len(batch) - len(results),
+            fit_seconds=fit_seconds,
+            runs_used=self.collector.runs_used,
+            samples=self.collector.n_measured,
+            detail=dict(self._pending_detail),
+            model_switch=self._pending_switch,
+        )
+        self.events.append(event)
+        self._pending_fit = 0.0
+        self._pending_detail = {}
+        self._pending_switch = None
+        self._pending_kind = None
+        return event
+
+
+class SearchStrategy(abc.ABC):
+    """The proposal policy half of a tuning algorithm.
+
+    One strategy instance drives one session; algorithms build a fresh
+    strategy per :meth:`~repro.core.algorithms.TuningAlgorithm.tune`
+    call.  All hooks receive the shared :class:`TuningSession`.
+    """
+
+    #: Display name used in results, reports and checkpoints.
+    name: str = "strategy"
+
+    def prepare(self, session: TuningSession) -> None:
+        """One-time setup before the loop (may spend component budget)."""
+
+    @abc.abstractmethod
+    def ask(self, session: TuningSession) -> list[Configuration]:
+        """Propose the next batch to measure; ``[]`` ends the session."""
+
+    def tell(self, session: TuningSession, batch, results: dict) -> None:
+        """Digest one measured batch.
+
+        ``batch`` is every configuration charged this cycle; ``results``
+        maps the *successful* subset to measured values — fault-injected
+        failures are the difference, and the strategy re-proposes from
+        the remaining pool on later ``ask`` calls.
+        """
+
+    @abc.abstractmethod
+    def finalize(self, session: TuningSession):
+        """The final searcher model (``predict(configs) -> np.ndarray``)."""
+
+    def summary(self, session: TuningSession) -> dict:
+        """Session-level diagnostics for the trailing ``"final"`` event."""
+        return {}
+
+    def state_dict(self) -> dict:
+        """Picklable logical state for checkpointing.
+
+        Must not contain fitted models, workflow objects, or anything
+        else holding closures; :meth:`load_state` re-derives models
+        deterministically from restored data.
+        """
+        return {}
+
+    def load_state(self, state: dict, session: TuningSession) -> None:
+        """Restore :meth:`state_dict` output into a fresh strategy."""
+
+
+# -- checkpoint files ---------------------------------------------------------
+
+CHECKPOINT_VERSION = 1
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint file is unreadable or belongs to another session."""
+
+
+def save_checkpoint(
+    path: str | Path,
+    session: TuningSession,
+    strategy: SearchStrategy,
+    completed: bool = False,
+) -> None:
+    """Atomically write the session's resumable state to ``path``."""
+    path = Path(path)
+    payload = {
+        "version": CHECKPOINT_VERSION,
+        "algorithm": strategy.name,
+        "workflow": session.problem.workflow.name,
+        "objective": session.problem.objective.name,
+        "seed": session.problem.seed,
+        "budget": session.collector.budget_runs,
+        "completed": completed,
+        "iteration": session.iteration,
+        "fit_seconds_total": session.fit_seconds_total,
+        "events": list(session.events),
+        "rng_state": session.rng.bit_generator.state,
+        "collector": session.collector.state_dict(),
+        "tracker": session.tracker.state_dict(),
+        "strategy": strategy.state_dict(),
+    }
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    os.replace(tmp, path)
+
+
+def load_checkpoint(path: str | Path) -> dict:
+    """Read a checkpoint payload written by :func:`save_checkpoint`."""
+    try:
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+    except (OSError, pickle.UnpicklingError, EOFError) as exc:
+        raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+    if not isinstance(payload, dict) or "version" not in payload:
+        raise CheckpointError(f"{path} is not a tuning checkpoint")
+    if payload["version"] != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint version {payload['version']} is not supported "
+            f"(expected {CHECKPOINT_VERSION})"
+        )
+    return payload
+
+
+# -- the driver ---------------------------------------------------------------
+
+
+@dataclass
+class TuningDriver:
+    """Owns the measurement loop shared by every tuning algorithm.
+
+    Parameters
+    ----------
+    checkpoint_path:
+        When set, the session's resumable state is written here after
+        the setup phase and after every measurement cycle.
+    """
+
+    checkpoint_path: str | Path | None = None
+
+    def run(
+        self,
+        strategy: SearchStrategy,
+        problem: TuningProblem,
+        *,
+        resume: bool = False,
+        max_cycles: int | None = None,
+    ) -> AutotuneResult | None:
+        """Drive ``strategy`` over ``problem`` until it stops proposing.
+
+        ``resume=True`` restores the session from ``checkpoint_path``
+        (the caller must reconstruct the *same* problem — workflow,
+        objective, pool, seed, budget — the checkpoint was written
+        from; mismatches raise :class:`CheckpointError`).
+        ``max_cycles`` bounds the number of measurement cycles executed
+        by *this* call; when the bound is hit mid-session the method
+        returns ``None``, leaving the checkpoint in place for a later
+        resume.  A resumed session is bit-identical to an uninterrupted
+        one in every deterministic field.
+        """
+        session = TuningSession.start(problem)
+        if resume:
+            if self.checkpoint_path is None:
+                raise ValueError("resume requires a checkpoint_path")
+            payload = load_checkpoint(self.checkpoint_path)
+            self._validate(payload, strategy, session)
+            self._restore(payload, strategy, session)
+        else:
+            strategy.prepare(session)
+            if session.collector.runs_used > 0 or session.has_pending:
+                session.emit(kind="setup", batch=(), results={})
+            self._save(session, strategy)
+
+        cycles = 0
+        while True:
+            if max_cycles is not None and cycles >= max_cycles:
+                return None
+            batch = [tuple(c) for c in strategy.ask(session)]
+            remaining = session.collector.runs_remaining
+            if not math.isinf(remaining) and len(batch) > remaining:
+                batch = batch[: max(int(remaining), 0)]
+            if not batch:
+                break
+            results = session.collector.measure(batch)
+            session.iteration += 1
+            strategy.tell(session, batch, results)
+            session.emit(kind="iteration", batch=batch, results=results)
+            self._save(session, strategy)
+            cycles += 1
+
+        model = strategy.finalize(session)
+        summary = strategy.summary(session)
+        if summary or session.has_pending:
+            session.annotate(**summary)
+            session.emit(kind="final", batch=(), results={})
+        self._save(session, strategy, completed=True)
+        return AutotuneResult.from_collector(
+            strategy.name, problem, model, trace=session.events
+        )
+
+    # -- persistence ----------------------------------------------------------
+
+    def _save(
+        self,
+        session: TuningSession,
+        strategy: SearchStrategy,
+        completed: bool = False,
+    ) -> None:
+        if self.checkpoint_path is not None:
+            save_checkpoint(self.checkpoint_path, session, strategy, completed)
+
+    @staticmethod
+    def _validate(
+        payload: dict, strategy: SearchStrategy, session: TuningSession
+    ) -> None:
+        expected = {
+            "algorithm": strategy.name,
+            "workflow": session.problem.workflow.name,
+            "objective": session.problem.objective.name,
+            "seed": session.problem.seed,
+            "budget": session.collector.budget_runs,
+        }
+        for key, want in expected.items():
+            got = payload.get(key)
+            if got != want:
+                raise CheckpointError(
+                    f"checkpoint {key} mismatch: checkpoint has {got!r}, "
+                    f"the session was built with {want!r}"
+                )
+
+    @staticmethod
+    def _restore(
+        payload: dict, strategy: SearchStrategy, session: TuningSession
+    ) -> None:
+        session.iteration = payload["iteration"]
+        session.events = list(payload["events"])
+        session.fit_seconds_total = payload["fit_seconds_total"]
+        session.collector.restore_state(payload["collector"])
+        session.rng.bit_generator.state = payload["rng_state"]
+        session.tracker.restore_state(payload["tracker"])
+        strategy.load_state(payload["strategy"], session)
+
+
+def clip_to_budget(batch: Sequence[Configuration], collector) -> list:
+    """Truncate a proposed batch to the collector's remaining budget."""
+    remaining = collector.runs_remaining
+    if math.isinf(remaining):
+        return list(batch)
+    return list(batch)[: max(int(remaining), 0)]

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -21,6 +22,9 @@ from repro.core.surrogate import SurrogateModel, default_surrogate
 from repro.insitu.measurement import stable_seed
 from repro.insitu.workflow import WorkflowDefinition
 from repro.workflows.pools import ComponentHistory, MeasuredPool
+
+if TYPE_CHECKING:  # avoid an import cycle with repro.core.driver
+    from repro.core.driver import TuningEvent
 
 __all__ = ["TuningProblem", "AutotuneResult"]
 
@@ -116,7 +120,9 @@ class AutotuneResult:
     runs_used, cost_execution_seconds, cost_core_hours:
         Budget and cost accounting copied from the collector.
     trace:
-        Per-iteration diagnostics (model switches, batch recalls, ...).
+        Typed per-cycle :class:`~repro.core.driver.TuningEvent` records
+        emitted by the driver (batches, failures, fit wall-clock,
+        model-switch state, strategy annotations).
     """
 
     algorithm: str
@@ -127,7 +133,7 @@ class AutotuneResult:
     runs_used: int
     cost_execution_seconds: float
     cost_core_hours: float
-    trace: list = field(default_factory=list)
+    trace: list[TuningEvent] = field(default_factory=list)
 
     def predict_pool(self, pool: MeasuredPool) -> np.ndarray:
         """Model scores over a pool (the test set)."""

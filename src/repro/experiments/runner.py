@@ -89,8 +89,11 @@ class TrialMetrics:
     :meth:`~repro.core.problem.TuningProblem.create`, so a single trial
     can be reproduced from its saved metrics row alone; ``repeat`` is
     the repeat index within the trial batch.  ``wall_seconds`` is the
-    measured wall-clock time of the trial (the only field that is not
-    deterministic across runs).
+    measured wall-clock time of the trial and ``fit_seconds`` the share
+    of it spent fitting models (summed from the trial's
+    :class:`~repro.core.driver.TuningEvent` records); both are
+    wall-clock and therefore the only fields that are not deterministic
+    across runs.
     """
 
     algorithm: str
@@ -107,6 +110,7 @@ class TrialMetrics:
     runs_used: int
     repeat: int = 0
     wall_seconds: float = 0.0
+    fit_seconds: float = 0.0
     trace: list = field(default_factory=list)
 
 
@@ -252,6 +256,7 @@ def _run_one_trial(ctx: _TrialContext, index: int) -> TrialMetrics:
         runs_used=result.runs_used,
         repeat=rep,
         wall_seconds=time.perf_counter() - started,
+        fit_seconds=sum(e.fit_seconds for e in result.trace),
         trace=result.trace,
     )
 
@@ -340,6 +345,7 @@ def summarize(trials: Sequence[TrialMetrics]) -> dict:
             "cost": float(np.mean([t.cost for t in ts])),
             "runs_used": float(np.mean([t.runs_used for t in ts])),
             "wall_seconds": float(np.mean([t.wall_seconds for t in ts])),
+            "fit_seconds": float(np.mean([t.fit_seconds for t in ts])),
             "repeats": len(ts),
         }
     return out

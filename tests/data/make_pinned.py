@@ -1,0 +1,99 @@
+"""Regenerate the pinned tune-result fixtures (tests/data/pinned_tune.json).
+
+The pins were captured from the pre-driver monolithic ``tune()``
+implementations; the driver-based strategies must reproduce them
+bit-identically (same measured configurations in the same order, same
+recommendation).  Re-run only when an *intentional* behaviour change is
+made, and say so in the commit message::
+
+    PYTHONPATH=src python tests/data/make_pinned.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.algorithms import (
+    ActiveLearning,
+    Alph,
+    BayesianOptimization,
+    Geist,
+    LowFidelityOnly,
+    RandomSampling,
+    RegionBandit,
+)
+from repro.core.ceal import Ceal, CealSettings
+from repro.core.objectives import EXECUTION_TIME
+from repro.core.problem import TuningProblem
+from repro.workflows.catalog import make_lv
+from repro.workflows.pools import generate_component_history, generate_pool
+
+POOL_SIZE = 150
+POOL_SEED = 7
+HISTORY_SIZE = 120
+
+
+def cases():
+    return [
+        ("rs", RandomSampling(), 16, 0.0),
+        ("al", ActiveLearning(iterations=3), 16, 0.0),
+        ("geist", Geist(iterations=3), 16, 0.0),
+        ("alph_hist", Alph(use_history=True, iterations=3), 16, 0.0),
+        (
+            "alph_paid",
+            Alph(use_history=False, component_runs_fraction=0.5, iterations=2),
+            16,
+            0.0,
+        ),
+        ("bandit", RegionBandit(), 16, 0.0),
+        ("bo", BayesianOptimization(iterations=3), 16, 0.0),
+        ("ceal_bo", BayesianOptimization(iterations=3, bootstrap=True), 16, 0.0),
+        ("lowfid", LowFidelityOnly(), 16, 0.0),
+        ("ceal_hist", Ceal(CealSettings(use_history=True)), 20, 0.0),
+        ("ceal_paid", Ceal(CealSettings(use_history=False)), 20, 0.0),
+        ("ceal_faults", Ceal(CealSettings(use_history=True)), 24, 0.3),
+    ]
+
+
+def main() -> None:
+    lv = make_lv()
+    pool = generate_pool(lv, POOL_SIZE, seed=POOL_SEED)
+    histories = {
+        label: generate_component_history(lv, label, size=HISTORY_SIZE, seed=POOL_SEED)
+        for label in lv.labels
+    }
+    pinned = {}
+    for key, algorithm, budget, failure_rate in cases():
+        problem = TuningProblem.create(
+            workflow=lv,
+            objective=EXECUTION_TIME,
+            pool=pool,
+            budget_runs=budget,
+            seed=3,
+            histories=histories,
+            failure_rate=failure_rate,
+        )
+        result = algorithm.tune(problem)
+        pinned[key] = {
+            "algorithm": result.algorithm,
+            "budget": budget,
+            "failure_rate": failure_rate,
+            "runs_used": result.runs_used,
+            "measured_configs": [list(c) for c in result.measured],
+            "measured_values": list(result.measured.values()),
+            "recommendation": list(result.best_config(pool)),
+        }
+        print(f"{key:12s} runs={result.runs_used:3d} "
+              f"measured={len(result.measured):3d}")
+
+    path = Path(__file__).with_name("pinned_tune.json")
+    path.write_text(json.dumps(pinned, indent=1, sort_keys=True))
+    roundtrip = json.loads(path.read_text())
+    for key, row in pinned.items():
+        assert roundtrip[key] == json.loads(json.dumps(row)), key
+    print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

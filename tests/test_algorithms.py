@@ -105,7 +105,8 @@ class TestActiveLearning:
         result = ActiveLearning(iterations=3).tune(problem)
         _check_result(result, problem, "AL")
         assert len(result.measured) == BUDGET
-        assert len(result.trace) == 3
+        guided = [e for e in result.trace if e.kind == "iteration"]
+        assert len(guided) == 3
 
     def test_invalid_hyperparams(self):
         with pytest.raises(ValueError):
@@ -136,7 +137,7 @@ class TestGeist:
 
     def test_exploration_share_in_trace(self, problem):
         result = Geist(iterations=2, explore_fraction=0.5).tune(problem)
-        assert any(t["explore"] > 0 for t in result.trace)
+        assert any(e.detail.get("explore", 0) > 0 for e in result.trace)
 
 
 class TestAlph:

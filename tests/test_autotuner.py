@@ -1,10 +1,9 @@
 """Tests for the user-facing AutoTuner facade and TuningProblem."""
 
-import numpy as np
 import pytest
 
-from repro.core.autotuner import AutoTuner
 from repro.core.algorithms import RandomSampling
+from repro.core.autotuner import AutoTuner
 from repro.core.objectives import EXECUTION_TIME
 from repro.core.problem import TuningProblem
 

@@ -43,8 +43,13 @@ class TestRegionBandit:
             histories=lv_histories,
         )
         result = RegionBandit(n_regions=4).tune(problem)
-        assert result.trace
-        assert all("region" in t and "ucb" in t for t in result.trace)
+        picks = [e for e in result.trace if e.kind in ("warmup", "iteration")]
+        assert picks
+        assert all("region" in e.detail for e in picks)
+        assert any("ucb" in e.detail for e in picks)
+        final = result.trace[-1]
+        assert final.kind == "final"
+        assert "pulls" in final.detail
 
     def test_concentrates_on_good_regions(self, lv, lv_pool, lv_histories):
         """Later pulls favour regions with better measured values."""

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.ceal import Ceal, CealSettings
-from repro.core.low_fidelity import LowFidelityModel
+from repro.core.driver import TuningEvent
 from repro.core.objectives import COMPUTER_TIME, EXECUTION_TIME
 from repro.core.problem import TuningProblem
 
@@ -71,11 +71,18 @@ class TestTune:
     def test_trace_metadata(self, lv, lv_pool, lv_histories):
         problem = make_problem(lv, lv_pool, lv_histories, budget=20)
         result = Ceal(CealSettings(use_history=True)).tune(problem)
-        meta = result.trace[-1]
-        assert isinstance(meta["low_fidelity"], LowFidelityModel)
-        assert "switched" in meta
-        iteration_rows = result.trace[:-1]
-        assert all("model" in row for row in iteration_rows)
+        assert all(isinstance(e, TuningEvent) for e in result.trace)
+        final = result.trace[-1]
+        assert final.kind == "final"
+        assert "switched" in final.detail
+        cycles = [e for e in result.trace if e.kind in ("seed", "iteration")]
+        assert cycles
+        for event in cycles:
+            assert event.iteration >= 1
+            assert event.batch
+            assert isinstance(event.fit_seconds, float)
+            assert event.model_switch is not None
+            assert event.model_switch.model in ("low", "high")
 
     def test_deterministic_given_seed(self, lv, lv_pool, lv_histories):
         def run():

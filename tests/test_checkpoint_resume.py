@@ -1,0 +1,151 @@
+"""Kill-and-resume determinism: resumed sessions finish bit-identically.
+
+A session interrupted after any number of measurement cycles
+(``max_cycles``) and resumed from its checkpoint must produce the same
+:class:`~repro.core.problem.AutotuneResult` as an uninterrupted run —
+same measured configurations in the same order, same recommendation,
+same event log in every deterministic field (``fit_seconds`` is
+wall-clock and excluded from the comparison).
+"""
+
+import pytest
+
+from repro.core.algorithms import ActiveLearning, RandomSampling
+from repro.core.autotuner import AutoTuner
+from repro.core.ceal import Ceal, CealSettings
+from repro.core.driver import load_checkpoint
+from repro.core.objectives import EXECUTION_TIME
+from repro.core.problem import TuningProblem
+
+
+def make_problem(lv, lv_pool, lv_histories, budget=20, **kwargs):
+    return TuningProblem.create(
+        workflow=lv,
+        objective=EXECUTION_TIME,
+        pool=lv_pool,
+        budget_runs=budget,
+        seed=3,
+        histories=lv_histories,
+        **kwargs,
+    )
+
+
+def comparable(result):
+    """Everything deterministic about a result (timing excluded)."""
+    return {
+        "algorithm": result.algorithm,
+        "measured": list(result.measured.items()),
+        "runs_used": result.runs_used,
+        "cost_execution_seconds": result.cost_execution_seconds,
+        "cost_core_hours": result.cost_core_hours,
+        "events": [e.as_dict(include_timing=False) for e in result.trace],
+    }
+
+
+def run_interrupted(algorithm_factory, problem_factory, path, interrupt_after):
+    """Run to ``interrupt_after`` cycles, drop everything, resume fresh."""
+    paused = algorithm_factory().tune(
+        problem_factory(), checkpoint_path=path, max_cycles=interrupt_after
+    )
+    assert paused is None, "session should have been interrupted mid-run"
+    # Fresh algorithm + fresh problem: nothing survives but the file.
+    return algorithm_factory().tune(
+        problem_factory(), checkpoint_path=path, resume=True
+    )
+
+
+class TestResumeDeterminism:
+    @pytest.mark.parametrize("interrupt_after", [1, 3])
+    def test_ceal_with_history(
+        self, lv, lv_pool, lv_histories, tmp_path, interrupt_after
+    ):
+        algo = lambda: Ceal(CealSettings(use_history=True))
+        prob = lambda: make_problem(lv, lv_pool, lv_histories, budget=20)
+        straight = algo().tune(prob())
+        resumed = run_interrupted(
+            algo, prob, tmp_path / "ceal.ckpt", interrupt_after
+        )
+        assert comparable(resumed) == comparable(straight)
+        assert resumed.best_config(lv_pool) == straight.best_config(lv_pool)
+
+    def test_ceal_paid_components(self, lv, lv_pool, lv_histories, tmp_path):
+        algo = lambda: Ceal(CealSettings(use_history=False))
+        prob = lambda: make_problem(lv, lv_pool, lv_histories, budget=20)
+        straight = algo().tune(prob())
+        resumed = run_interrupted(algo, prob, tmp_path / "ceal.ckpt", 2)
+        assert comparable(resumed) == comparable(straight)
+        assert resumed.best_config(lv_pool) == straight.best_config(lv_pool)
+
+    def test_ceal_under_fault_injection(
+        self, lv, lv_pool, lv_histories, tmp_path
+    ):
+        algo = lambda: Ceal(CealSettings(use_history=True))
+        prob = lambda: make_problem(
+            lv, lv_pool, lv_histories, budget=24, failure_rate=0.3
+        )
+        straight = algo().tune(prob())
+        resumed = run_interrupted(algo, prob, tmp_path / "ceal.ckpt", 2)
+        assert comparable(resumed) == comparable(straight)
+        assert resumed.best_config(lv_pool) == straight.best_config(lv_pool)
+
+    def test_active_learning_baseline(self, lv, lv_pool, lv_histories, tmp_path):
+        algo = lambda: ActiveLearning(iterations=3)
+        prob = lambda: make_problem(lv, lv_pool, lv_histories, budget=16)
+        straight = algo().tune(prob())
+        resumed = run_interrupted(algo, prob, tmp_path / "al.ckpt", 2)
+        assert comparable(resumed) == comparable(straight)
+        assert resumed.best_config(lv_pool) == straight.best_config(lv_pool)
+
+    def test_random_sampling_baseline(self, lv, lv_pool, lv_histories, tmp_path):
+        algo = lambda: RandomSampling()
+        prob = lambda: make_problem(lv, lv_pool, lv_histories, budget=16)
+        straight = algo().tune(prob())
+        resumed = run_interrupted(algo, prob, tmp_path / "rs.ckpt", 1)
+        assert comparable(resumed) == comparable(straight)
+        assert resumed.best_config(lv_pool) == straight.best_config(lv_pool)
+
+    def test_completed_flag_set_after_finish(
+        self, lv, lv_pool, lv_histories, tmp_path
+    ):
+        path = tmp_path / "done.ckpt"
+        Ceal(CealSettings(use_history=True)).tune(
+            make_problem(lv, lv_pool, lv_histories), checkpoint_path=path
+        )
+        assert load_checkpoint(path)["completed"] is True
+
+    def test_resume_across_multiple_interruptions(
+        self, lv, lv_pool, lv_histories, tmp_path
+    ):
+        """Pause after every single cycle until the session finishes."""
+        path = tmp_path / "stepwise.ckpt"
+        algo = lambda: Ceal(CealSettings(use_history=True))
+        prob = lambda: make_problem(lv, lv_pool, lv_histories, budget=20)
+        straight = algo().tune(prob())
+        result = algo().tune(prob(), checkpoint_path=path, max_cycles=1)
+        hops = 0
+        while result is None:
+            hops += 1
+            assert hops < 50, "resume loop did not converge"
+            result = algo().tune(
+                prob(), checkpoint_path=path, resume=True, max_cycles=1
+            )
+        assert hops > 1
+        assert comparable(result) == comparable(straight)
+        assert result.best_config(lv_pool) == straight.best_config(lv_pool)
+
+
+class TestAutoTunerCheckpoint:
+    def test_facade_passthrough(self, lv, tmp_path):
+        path = tmp_path / "facade.ckpt"
+        kwargs = dict(
+            workflow=lv,
+            objective="execution_time",
+            budget=16,
+            pool_size=80,
+            use_history=True,
+            seed=5,
+        )
+        straight = AutoTuner(**kwargs).tune()
+        checkpointed = AutoTuner(**kwargs, checkpoint_path=str(path)).tune()
+        assert checkpointed.best_config == straight.best_config
+        assert load_checkpoint(path)["completed"] is True

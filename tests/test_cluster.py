@@ -8,7 +8,7 @@ from repro.cluster.contention import (
     memory_bandwidth_slowdown,
     nic_share,
 )
-from repro.cluster.machine import BROADWELL_NODE, Machine, NodeSpec, default_machine
+from repro.cluster.machine import Machine, NodeSpec, default_machine
 from repro.cluster.topology import FabricTopology
 
 

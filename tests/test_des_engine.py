@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.des import AllOf, Environment, Event, Interrupt, Timeout
+from repro.des import AllOf, Environment, Interrupt
 from repro.des.engine import EmptySchedule
 
 

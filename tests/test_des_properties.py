@@ -1,6 +1,5 @@
 """Property-based tests of the DES engine (hypothesis)."""
 
-import heapq
 
 from hypothesis import given, settings
 from hypothesis import strategies as st

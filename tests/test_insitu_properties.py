@@ -1,6 +1,5 @@
 """Property-based tests of the in-situ layer (hypothesis)."""
 
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

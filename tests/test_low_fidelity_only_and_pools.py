@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core.algorithms import LowFidelityOnly
-from repro.core.ceal import Ceal, CealSettings
 from repro.core.objectives import COMPUTER_TIME
 from repro.core.problem import TuningProblem
 from repro.workflows.pools import generate_pool

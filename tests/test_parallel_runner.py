@@ -3,7 +3,6 @@
 import os
 
 import numpy as np
-import pytest
 
 from repro.core.algorithms import RandomSampling
 from repro.core.ceal import Ceal, CealSettings

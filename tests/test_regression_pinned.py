@@ -1,0 +1,76 @@
+"""Pinned-output regression tests for the driver refactor.
+
+``tests/data/pinned_tune.json`` captures, for every algorithm, the exact
+outputs of the pre-driver monolithic ``tune()`` implementations on a
+fixed problem (LV workflow, pool size 150/seed 7, histories 120/seed 7,
+tuning seed 3).  The driver-based strategies must reproduce them
+bit-identically: the same measured configurations in the same order, the
+same values, the same recommendation, and the same budget accounting.
+
+Regenerate with ``PYTHONPATH=src python tests/data/make_pinned.py`` only
+for an *intentional* behaviour change.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.algorithms import (
+    ActiveLearning,
+    Alph,
+    BayesianOptimization,
+    Geist,
+    LowFidelityOnly,
+    RandomSampling,
+    RegionBandit,
+)
+from repro.core.ceal import Ceal, CealSettings
+from repro.core.objectives import EXECUTION_TIME
+from repro.core.problem import TuningProblem
+
+PINNED = json.loads(
+    (Path(__file__).parent / "data" / "pinned_tune.json").read_text()
+)
+
+# Mirrors tests/data/make_pinned.py (keep the two in sync).
+CASES = {
+    "rs": lambda: RandomSampling(),
+    "al": lambda: ActiveLearning(iterations=3),
+    "geist": lambda: Geist(iterations=3),
+    "alph_hist": lambda: Alph(use_history=True, iterations=3),
+    "alph_paid": lambda: Alph(
+        use_history=False, component_runs_fraction=0.5, iterations=2
+    ),
+    "bandit": lambda: RegionBandit(),
+    "bo": lambda: BayesianOptimization(iterations=3),
+    "ceal_bo": lambda: BayesianOptimization(iterations=3, bootstrap=True),
+    "lowfid": lambda: LowFidelityOnly(),
+    "ceal_hist": lambda: Ceal(CealSettings(use_history=True)),
+    "ceal_paid": lambda: Ceal(CealSettings(use_history=False)),
+    "ceal_faults": lambda: Ceal(CealSettings(use_history=True)),
+}
+
+
+def test_all_cases_pinned():
+    assert set(CASES) == set(PINNED)
+
+
+@pytest.mark.parametrize("key", sorted(CASES))
+def test_reproduces_pre_refactor_output(key, lv, lv_pool, lv_histories):
+    pin = PINNED[key]
+    problem = TuningProblem.create(
+        workflow=lv,
+        objective=EXECUTION_TIME,
+        pool=lv_pool,
+        budget_runs=pin["budget"],
+        seed=3,
+        histories=lv_histories,
+        failure_rate=pin["failure_rate"],
+    )
+    result = CASES[key]().tune(problem)
+    assert result.algorithm == pin["algorithm"]
+    assert result.runs_used == pin["runs_used"]
+    assert [list(c) for c in result.measured] == pin["measured_configs"]
+    assert list(result.measured.values()) == pin["measured_values"]
+    assert list(result.best_config(lv_pool)) == pin["recommendation"]

@@ -1,6 +1,5 @@
 """Tests for the Fig. 13 sensitivity sweep driver (small scale)."""
 
-import pytest
 
 from repro.core.ceal import CealSettings
 from repro.experiments.sensitivity import fig13_sensitivity, sweep_ceal
