@@ -8,14 +8,24 @@ Two subcommands::
 ``tune`` runs the auto-tuner once and prints the recommendation;
 ``reproduce`` regenerates one of the paper's tables/figures and prints
 the rows.
+
+Machine-readable results go to stdout; diagnostics go to stderr through
+the ``repro`` logger (``-v`` for progress + telemetry summary, ``-vv``
+for debug, ``-q`` for errors only), so piping stdout stays clean.  Both
+subcommands accept ``--telemetry PATH`` (with ``--telemetry-format
+{chrome,jsonl}``) to record spans and metrics of the run — the chrome
+format loads directly in Perfetto / ``chrome://tracing``.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 
 __all__ = ["main", "build_parser"]
+
+log = logging.getLogger("repro")
 
 _TARGETS = {
     "headline": ("headline_claims", True),
@@ -47,6 +57,25 @@ def _jobs_value(text: str) -> str:
     return text
 
 
+def _add_common_flags(parser: argparse.ArgumentParser) -> None:
+    """Diagnostics and telemetry flags shared by every subcommand."""
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="diagnostics to stderr (-v progress + telemetry summary, "
+        "-vv debug)")
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="suppress warnings; only errors go to stderr")
+    parser.add_argument(
+        "--telemetry", metavar="PATH", default=None,
+        help="record spans/metrics of this run to PATH")
+    parser.add_argument(
+        "--telemetry-format", choices=("chrome", "jsonl"), default="chrome",
+        help="trace file format: 'chrome' loads in Perfetto/"
+        "chrome://tracing, 'jsonl' streams one JSON object per line "
+        "(default: chrome)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -56,6 +85,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     tune = sub.add_parser("tune", help="auto-tune one workflow")
+    _add_common_flags(tune)
     tune.add_argument("--workflow", choices=("LV", "HS", "GP"), default="LV")
     tune.add_argument(
         "--objective",
@@ -77,6 +107,7 @@ def build_parser() -> argparse.ArgumentParser:
                       "the same workflow/objective/budget/seed)")
 
     rep = sub.add_parser("reproduce", help="regenerate a paper table/figure")
+    _add_common_flags(rep)
     rep.add_argument("--target", choices=sorted(_TARGETS), required=True)
     rep.add_argument("--repeats", type=int, default=10)
     rep.add_argument("--pool", type=int, default=1000)
@@ -92,6 +123,57 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--chart", action="store_true",
                      help="also render an ASCII chart of the rows")
     return parser
+
+
+def _setup_logging(verbose: int, quiet: bool) -> None:
+    """Route diagnostics to stderr; stdout stays machine-readable.
+
+    Idempotent — ``main()`` may be called repeatedly in one process
+    (tests), so the handler is replaced rather than stacked.
+    """
+    for handler in list(log.handlers):
+        log.removeHandler(handler)
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(logging.Formatter("repro: %(message)s"))
+    log.addHandler(handler)
+    log.propagate = False
+    if quiet:
+        log.setLevel(logging.ERROR)
+    elif verbose >= 2:
+        log.setLevel(logging.DEBUG)
+    elif verbose == 1:
+        log.setLevel(logging.INFO)
+    else:
+        log.setLevel(logging.WARNING)
+
+
+def _make_hub(args):
+    """A telemetry hub per the CLI flags (``None`` when not requested)."""
+    if not args.telemetry:
+        return None
+    from repro.telemetry import JsonlSink, Telemetry
+
+    sinks = (
+        [JsonlSink(args.telemetry)]
+        if args.telemetry_format == "jsonl"
+        else []
+    )
+    return Telemetry(sinks=sinks)
+
+
+def _finish_telemetry(hub, args) -> None:
+    """Write/close the trace file and log the summary under ``-v``."""
+    from repro import telemetry
+
+    if args.telemetry_format == "chrome":
+        telemetry.write_chrome_trace(args.telemetry, hub)
+    hub.close()
+    log.info(
+        "telemetry written to %s (%s)", args.telemetry, args.telemetry_format
+    )
+    if log.isEnabledFor(logging.INFO):
+        for line in telemetry.summarize(hub).splitlines():
+            log.info("%s", line)
 
 
 def _make_algorithm(name: str, use_history: bool):
@@ -128,8 +210,13 @@ def _cmd_tune(args, out) -> int:
 
     workflow = make_workflow(args.workflow)
     if args.resume and not args.checkpoint:
-        print("--resume requires --checkpoint PATH", file=out)
+        log.error("--resume requires --checkpoint PATH")
         return 2
+    log.info(
+        "tuning %s/%s with %s, budget %d, pool %d, seed %d",
+        args.workflow, args.objective, args.algorithm, args.budget,
+        args.pool_size, args.seed,
+    )
     outcome = AutoTuner(
         workflow,
         objective=args.objective,
@@ -164,6 +251,7 @@ def _cmd_reproduce(args, out) -> int:
     import repro.experiments as experiments
 
     func_name, takes_scale = _TARGETS[args.target]
+    log.info("reproducing %s (%s)", args.target, func_name)
     func = getattr(experiments, func_name)
     if takes_scale:
         result = func(
@@ -191,6 +279,21 @@ def main(argv: list[str] | None = None, out=None) -> int:
     """CLI entry point; returns a process exit code."""
     out = out or sys.stdout
     args = build_parser().parse_args(argv)
+    _setup_logging(args.verbose, args.quiet)
+    hub = _make_hub(args)
+    try:
+        if hub is not None:
+            from repro import telemetry
+
+            with telemetry.use(hub):
+                return _dispatch(args, out)
+        return _dispatch(args, out)
+    finally:
+        if hub is not None:
+            _finish_telemetry(hub, args)
+
+
+def _dispatch(args, out) -> int:
     if args.command == "tune":
         return _cmd_tune(args, out)
     if args.command == "reproduce":

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import telemetry
 from repro.config.space import Configuration
 from repro.core.objectives import Objective
 from repro.insitu.measurement import WorkflowMeasurement
@@ -121,6 +122,21 @@ class Collector:
         result.  Re-measuring an already-measured configuration is a
         programming error — it would silently waste budget.
         """
+        tel = telemetry.get()
+        if not tel.enabled:
+            return self._measure(configs)
+        failures_before = self.failures
+        with tel.span(
+            "collector.measure", category="collector", batch=len(configs)
+        ) as span:
+            out = self._measure(configs)
+            span.set(measured=len(out), failures=self.failures - failures_before)
+        tel.counter("runs_measured").inc(len(configs))
+        if self.failures > failures_before:
+            tel.counter("run_failures").inc(self.failures - failures_before)
+        return out
+
+    def _measure(self, configs: Sequence[Configuration]) -> dict:
         out: dict = {}
         for config in configs:
             config = tuple(config)
@@ -168,6 +184,22 @@ class Collector:
         Draws without replacement from each component's history set and
         charges ``n_batches`` workflow runs plus the solo costs.
         """
+        tel = telemetry.get()
+        if not tel.enabled:
+            return self._measure_components(n_batches, rng)
+        with tel.span(
+            "collector.measure_components",
+            category="collector",
+            batches=n_batches,
+        ) as span:
+            out = self._measure_components(n_batches, rng)
+            span.set(components=len(out))
+        tel.counter("component_batches").inc(n_batches)
+        return out
+
+    def _measure_components(
+        self, n_batches: int, rng: np.random.Generator
+    ) -> dict[str, ComponentBatchData]:
         if n_batches < 0:
             raise ValueError("n_batches must be non-negative")
         if n_batches == 0:

@@ -36,6 +36,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import telemetry
 from repro.config.space import Configuration
 from repro.core.problem import AutotuneResult, TuningProblem
 
@@ -215,6 +216,26 @@ class TuningEvent:
         return out
 
 
+def _event_attributes(event: TuningEvent) -> dict:
+    """Span attributes summarising one :class:`TuningEvent`."""
+    attrs = {
+        "kind": event.kind,
+        "iteration": event.iteration,
+        "batch": len(event.batch),
+        "results": len(event.results),
+        "failures": event.failures,
+        "fit_seconds": event.fit_seconds,
+        "runs_used": event.runs_used,
+        "samples": event.samples,
+    }
+    if event.detail:
+        attrs["detail"] = dict(event.detail)
+    if event.model_switch is not None:
+        attrs["model"] = event.model_switch.model
+        attrs["switched"] = event.model_switch.switched
+    return attrs
+
+
 @dataclass
 class TuningSession:
     """Mutable state of one driving loop, shared with the strategy.
@@ -260,7 +281,17 @@ class TuningSession:
     def timed_fit(self, model, configs, values):
         """Fit ``model`` and charge the wall-clock time to this cycle."""
         started = time.perf_counter()
-        out = model.fit(configs, values)
+        tel = telemetry.get()
+        if tel.enabled:
+            with tel.span(
+                "model.fit",
+                category="fit",
+                model=type(model).__name__,
+                samples=len(values),
+            ):
+                out = model.fit(configs, values)
+        else:
+            out = model.fit(configs, values)
         self._pending_fit += time.perf_counter() - started
         return out
 
@@ -449,7 +480,36 @@ class TuningDriver:
         returns ``None``, leaving the checkpoint in place for a later
         resume.  A resumed session is bit-identical to an uninterrupted
         one in every deterministic field.
+
+        When a telemetry hub is installed (:mod:`repro.telemetry`), the
+        loop emits nested spans — ``driver.run`` > ``driver.cycle`` >
+        ``driver.ask``/``collector.measure``/``driver.tell`` — carrying
+        each cycle's :class:`TuningEvent` fields as span attributes,
+        plus ``driver.cycles`` / ``fit_seconds`` metrics.  Telemetry is
+        purely observational: results are bit-identical either way.
         """
+        tel = telemetry.get()
+        with tel.span(
+            "driver.run",
+            category="driver",
+            algorithm=strategy.name,
+            workflow=problem.workflow.name,
+            objective=problem.objective.name,
+            resume=resume,
+        ):
+            return self._run(
+                strategy, problem, tel, resume=resume, max_cycles=max_cycles
+            )
+
+    def _run(
+        self,
+        strategy: SearchStrategy,
+        problem: TuningProblem,
+        tel,
+        *,
+        resume: bool,
+        max_cycles: int | None,
+    ) -> AutotuneResult | None:
         session = TuningSession.start(problem)
         if resume:
             if self.checkpoint_path is None:
@@ -458,30 +518,47 @@ class TuningDriver:
             self._validate(payload, strategy, session)
             self._restore(payload, strategy, session)
         else:
-            strategy.prepare(session)
-            if session.collector.runs_used > 0 or session.has_pending:
-                session.emit(kind="setup", batch=(), results={})
+            with tel.span("driver.prepare", category="driver") as prep_span:
+                strategy.prepare(session)
+                if session.collector.runs_used > 0 or session.has_pending:
+                    event = session.emit(kind="setup", batch=(), results={})
+                    if tel.enabled:
+                        prep_span.set(**_event_attributes(event))
             self._save(session, strategy)
 
         cycles = 0
         while True:
             if max_cycles is not None and cycles >= max_cycles:
                 return None
-            batch = [tuple(c) for c in strategy.ask(session)]
-            remaining = session.collector.runs_remaining
-            if not math.isinf(remaining) and len(batch) > remaining:
-                batch = batch[: max(int(remaining), 0)]
-            if not batch:
-                break
-            results = session.collector.measure(batch)
-            session.iteration += 1
-            strategy.tell(session, batch, results)
-            session.emit(kind="iteration", batch=batch, results=results)
+            with tel.span(
+                "driver.cycle",
+                category="driver",
+                iteration=session.iteration + 1,
+            ) as cycle_span:
+                with tel.span("driver.ask", category="driver"):
+                    batch = [tuple(c) for c in strategy.ask(session)]
+                remaining = session.collector.runs_remaining
+                if not math.isinf(remaining) and len(batch) > remaining:
+                    batch = batch[: max(int(remaining), 0)]
+                if not batch:
+                    break
+                results = session.collector.measure(batch)
+                session.iteration += 1
+                with tel.span("driver.tell", category="driver"):
+                    strategy.tell(session, batch, results)
+                event = session.emit(
+                    kind="iteration", batch=batch, results=results
+                )
+                if tel.enabled:
+                    cycle_span.set(**_event_attributes(event))
+                    tel.counter("driver.cycles").inc()
+                    tel.histogram("fit_seconds").observe(event.fit_seconds)
             self._save(session, strategy)
             cycles += 1
 
-        model = strategy.finalize(session)
-        summary = strategy.summary(session)
+        with tel.span("driver.finalize", category="driver"):
+            model = strategy.finalize(session)
+            summary = strategy.summary(session)
         if summary or session.has_pending:
             session.annotate(**summary)
             session.emit(kind="final", batch=(), results={})

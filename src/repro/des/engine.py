@@ -165,6 +165,10 @@ class Environment:
         self._now = float(initial_time)
         self._heap: list[tuple[float, int, Event]] = []
         self._seq = 0
+        #: Event-loop statistics (plain counters — always on, so runs
+        #: with and without telemetry execute identical code).
+        self.events_processed = 0
+        self.peak_heap = 0
 
     @property
     def now(self) -> float:
@@ -196,6 +200,8 @@ class Environment:
     def _enqueue(self, event: Event, delay: float) -> None:
         self._seq += 1
         heapq.heappush(self._heap, (self._now + delay, self._seq, event))
+        if len(self._heap) > self.peak_heap:
+            self.peak_heap = len(self._heap)
 
     def peek(self) -> float:
         """Time of the next event, or ``inf`` when the heap is empty."""
@@ -207,6 +213,7 @@ class Environment:
             raise EmptySchedule("no scheduled events")
         time, _, event = heapq.heappop(self._heap)
         self._now = time
+        self.events_processed += 1
         event._process()
 
     def run(self, until: float | Event | None = None) -> Any:

@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.algorithms import ActiveLearning, Geist, RandomSampling
 from repro.core.ceal import Ceal, CealSettings
 from repro.core.metrics import mdape_on_top_fraction, recall_curve
@@ -47,6 +48,7 @@ from repro.workflows.pools import generate_component_history, generate_pool
 
 __all__ = [
     "AlgorithmSpec",
+    "SUMMARY_PERCENTILES",
     "TrialMetrics",
     "default_algorithms",
     "fanout",
@@ -134,16 +136,37 @@ def trial_seed(pool_seed: int, name: str, rep: int) -> int:
 
 # -- process fan-out ---------------------------------------------------------------
 
-#: ``(worker, context)`` of the fan-out in flight.  Set in the parent
-#: immediately before the pool forks, so workers inherit it through
-#: copy-on-write memory instead of pickling (the context holds lambdas
-#: and DES-backed workflow objects that do not pickle).
+#: ``(worker, context, capture)`` of the fan-out in flight.  Set in the
+#: parent immediately before the pool forks, so workers inherit it
+#: through copy-on-write memory instead of pickling (the context holds
+#: lambdas and DES-backed workflow objects that do not pickle).
+#: ``capture`` records whether the parent had telemetry enabled at fork
+#: time.
 _FANOUT_STATE: tuple | None = None
 
 
+def _run_captured(worker, context, index: int):
+    """Run one task under a fresh in-memory telemetry hub.
+
+    The task's spans and metrics are recorded into a hub private to the
+    task (never the parent's — a forked child appending to an inherited
+    hub would be lost, and a file sink inherited across ``fork`` would
+    interleave writes).  Returns ``(result, snapshot)`` for the parent
+    to merge with task-index attribution.
+    """
+    hub = telemetry.Telemetry()
+    with telemetry.use(hub):
+        with hub.span("runner.task", category="runner", task=index):
+            result = worker(context, index)
+    return result, hub.snapshot()
+
+
 def _fanout_entry(index: int):
-    worker, context = _FANOUT_STATE
-    return index, worker(context, index)
+    worker, context, capture = _FANOUT_STATE
+    if not capture:
+        return index, worker(context, index), None
+    result, payload = _run_captured(worker, context, index)
+    return index, result, payload
 
 
 def resolve_jobs(jobs: int | str | None = None) -> int:
@@ -179,11 +202,19 @@ def fanout(worker, context, n_tasks: int, jobs: int | str | None = None) -> list
     inheritance and never pickled; worker *return values* must pickle.
     Falls back to serial execution when ``jobs`` resolves to 1, when
     ``fork`` is unavailable, or when already inside a fan-out worker.
+
+    When telemetry is enabled, every task — serial or parallel — runs
+    under a private in-memory hub whose snapshot is merged back into
+    the caller's hub in task-index order with the task index as the
+    worker id.  The merged telemetry is therefore identical across
+    ``jobs`` settings in every non-timing field, and task results are
+    bit-identical to a run without telemetry.
     """
     global _FANOUT_STATE
+    tel = telemetry.get()
     n_jobs = min(resolve_jobs(jobs), n_tasks)
     if n_jobs <= 1 or _FANOUT_STATE is not None:
-        return [worker(context, i) for i in range(n_tasks)]
+        return _fanout_serial(worker, context, n_tasks, tel)
     if "fork" not in multiprocessing.get_all_start_methods():
         warnings.warn(
             "repro: parallel trials need the 'fork' start method; "
@@ -191,18 +222,40 @@ def fanout(worker, context, n_tasks: int, jobs: int | str | None = None) -> list
             RuntimeWarning,
             stacklevel=2,
         )
-        return [worker(context, i) for i in range(n_tasks)]
-    _FANOUT_STATE = (worker, context)
+        return _fanout_serial(worker, context, n_tasks, tel)
+    _FANOUT_STATE = (worker, context, tel.enabled)
     try:
         mp = multiprocessing.get_context("fork")
         with mp.Pool(processes=n_jobs) as pool:
             results: list = [None] * n_tasks
-            for index, result in pool.imap_unordered(
+            payloads: list = [None] * n_tasks
+            for index, result, payload in pool.imap_unordered(
                 _fanout_entry, range(n_tasks), chunksize=1
             ):
                 results[index] = result
+                payloads[index] = payload
     finally:
         _FANOUT_STATE = None
+    # Merge after the pool drains, in task order: worker scheduling must
+    # not perturb the combined telemetry.
+    for index, payload in enumerate(payloads):
+        tel.merge_worker(payload, worker=index)
+    return results
+
+
+def _fanout_serial(worker, context, n_tasks: int, tel) -> list:
+    """Serial fan-out, with the same per-task capture as parallel runs.
+
+    Inside a fan-out worker (nested call) the current hub already *is*
+    the task's capture hub, so nested tasks record into it directly.
+    """
+    if not tel.enabled or _FANOUT_STATE is not None:
+        return [worker(context, i) for i in range(n_tasks)]
+    results = []
+    for index in range(n_tasks):
+        result, payload = _run_captured(worker, context, index)
+        tel.merge_worker(payload, worker=index)
+        results.append(result)
     return results
 
 
@@ -228,6 +281,7 @@ class _TrialContext:
 def _run_one_trial(ctx: _TrialContext, index: int) -> TrialMetrics:
     spec, rep, seed = ctx.tasks[index]
     started = time.perf_counter()
+    tel = telemetry.get()
     problem = TuningProblem.create(
         workflow=ctx.workflow,
         objective=ctx.objective,
@@ -238,8 +292,26 @@ def _run_one_trial(ctx: _TrialContext, index: int) -> TrialMetrics:
         failure_rate=ctx.failure_rate,
     )
     algorithm = spec.factory()
-    result = algorithm.tune(problem)
-    scores = result.predict_pool(ctx.pool)
+    with tel.span(
+        "runner.trial",
+        category="runner",
+        algorithm=spec.name,
+        repeat=rep,
+        seed=seed,
+    ):
+        result = algorithm.tune(problem)
+    if tel.enabled:
+        tel.counter("trials_run").inc()
+        rank_started = time.perf_counter()
+        with tel.span(
+            "runner.rank_pool", category="runner", pool=len(ctx.pool)
+        ):
+            scores = result.predict_pool(ctx.pool)
+        tel.histogram("pool_rank_seconds").observe(
+            time.perf_counter() - rank_started
+        )
+    else:
+        scores = result.predict_pool(ctx.pool)
     best_value = result.best_actual_value(ctx.pool)
     return TrialMetrics(
         algorithm=spec.name,
@@ -328,14 +400,26 @@ def run_trials(
     return fanout(_run_one_trial, ctx, len(tasks), jobs)
 
 
+#: Tail-latency percentiles reported by :func:`summarize`.
+SUMMARY_PERCENTILES = (50, 90, 99)
+
+
 def summarize(trials: Sequence[TrialMetrics]) -> dict:
-    """Aggregate trials per algorithm: means of every §7.2 metric."""
+    """Aggregate trials per algorithm: means of every §7.2 metric.
+
+    Wall-clock metrics additionally carry tail percentiles
+    (``wall_seconds_p50``/``_p90``/``_p99`` and the same for
+    ``fit_seconds``) — a mean alone hides stragglers, and benchmark
+    JSON needs the tail to compare scheduling strategies.
+    """
     by_algo: dict[str, list[TrialMetrics]] = {}
     for t in trials:
         by_algo.setdefault(t.algorithm, []).append(t)
     out: dict = {}
     for name, ts in by_algo.items():
-        out[name] = {
+        wall = np.array([t.wall_seconds for t in ts])
+        fit = np.array([t.fit_seconds for t in ts])
+        row = {
             "normalized": float(np.mean([t.normalized for t in ts])),
             "normalized_std": float(np.std([t.normalized for t in ts])),
             "best_value": float(np.mean([t.best_value for t in ts])),
@@ -344,8 +428,12 @@ def summarize(trials: Sequence[TrialMetrics]) -> dict:
             "mdape_top2": float(np.mean([t.mdape_top2 for t in ts])),
             "cost": float(np.mean([t.cost for t in ts])),
             "runs_used": float(np.mean([t.runs_used for t in ts])),
-            "wall_seconds": float(np.mean([t.wall_seconds for t in ts])),
-            "fit_seconds": float(np.mean([t.fit_seconds for t in ts])),
+            "wall_seconds": float(wall.mean()),
+            "fit_seconds": float(fit.mean()),
             "repeats": len(ts),
         }
+        for p in SUMMARY_PERCENTILES:
+            row[f"wall_seconds_p{p}"] = float(np.percentile(wall, p))
+            row[f"fit_seconds_p{p}"] = float(np.percentile(fit, p))
+        out[name] = row
     return out

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import telemetry
 from repro.config.space import Configuration
 from repro.des import Environment, Store
 from repro.insitu.transport import StagingChannelModel
@@ -175,10 +176,28 @@ def run_coupled(
                 trace(label, "wait_put", step, t0)
         finish[label] = env.now
 
-    processes = [
-        env.process(component_process(label)) for label in workflow.labels
-    ]
-    env.run(env.all_of(processes))
+    tel = telemetry.get()
+    if tel.enabled:
+        with tel.span(
+            "insitu.run_coupled",
+            category="insitu",
+            workflow=workflow.name,
+            steps=n_steps,
+        ) as span:
+            processes = [
+                env.process(component_process(label))
+                for label in workflow.labels
+            ]
+            env.run(env.all_of(processes))
+            span.set(des_events=env.events_processed)
+        tel.counter("des.events").inc(env.events_processed)
+        tel.counter("des.runs").inc()
+        tel.gauge("des.peak_heap").set_max(env.peak_heap)
+    else:
+        processes = [
+            env.process(component_process(label)) for label in workflow.labels
+        ]
+        env.run(env.all_of(processes))
 
     nodes = sum(p.nodes for p in placements.values())
     return CoupledRunResult(

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import telemetry
 from repro.ml.tree import RegressionTree
 
 __all__ = ["GradientBoostedTrees"]
@@ -95,6 +96,16 @@ class GradientBoostedTrees:
         else:
             target = y
 
+        with telemetry.get().span(
+            "ml.fit.boosting",
+            category="fit",
+            samples=n,
+            rounds=self.n_estimators,
+        ):
+            self._fit_rounds(X, target, n, d)
+        return self
+
+    def _fit_rounds(self, X: np.ndarray, target: np.ndarray, n: int, d: int):
         rng = np.random.default_rng(self.random_state)
         self._trees = []
         self._tree_columns = []
@@ -130,7 +141,6 @@ class GradientBoostedTrees:
             pred = pred + self.learning_rate * update
             self._trees.append(tree)
             self._tree_columns.append(cols)
-        return self
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         """Predict targets for each row of ``X``."""

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import telemetry
 from repro.ml.tree import RegressionTree
 
 __all__ = ["RandomForestRegressor"]
@@ -69,17 +70,20 @@ class RandomForestRegressor:
         )
         self._trees = []
         self._n_features = d
-        for _ in range(self.n_estimators):
-            rows = rng.integers(0, n, size=n)  # bootstrap with replacement
-            tree = RegressionTree(
-                max_depth=self.max_depth,
-                min_samples_leaf=self.min_samples_leaf,
-                reg_lambda=0.0,
-                max_features=min(max_features, d),
-                random_state=int(rng.integers(2**31 - 1)),
-            )
-            tree.fit(X[rows], y[rows])
-            self._trees.append(tree)
+        with telemetry.get().span(
+            "ml.fit.forest", category="fit", samples=n, trees=self.n_estimators
+        ):
+            for _ in range(self.n_estimators):
+                rows = rng.integers(0, n, size=n)  # bootstrap with replacement
+                tree = RegressionTree(
+                    max_depth=self.max_depth,
+                    min_samples_leaf=self.min_samples_leaf,
+                    reg_lambda=0.0,
+                    max_features=min(max_features, d),
+                    random_state=int(rng.integers(2**31 - 1)),
+                )
+                tree.fit(X[rows], y[rows])
+                self._trees.append(tree)
         return self
 
     def predict(self, X: np.ndarray) -> np.ndarray:

@@ -1,0 +1,222 @@
+"""Chrome-trace (``chrome://tracing`` / Perfetto) export and validation.
+
+Emits the JSON object form of the Trace Event Format: complete ("X")
+events with microsecond timestamps, plus metadata ("M") events naming
+the process and per-worker threads.  Wall-clock spans live under pid 0
+(one tid per fan-out worker); simulated-time timelines bridged from
+:class:`~repro.insitu.tracing.RunTracer` live under their own pid so
+the two clock domains never visually interleave.
+
+:func:`validate_chrome_trace` is the exporter's own checker — used by
+the test suite and the CI smoke step — enforcing JSON-serialisability,
+non-negative timestamps/durations, proper B/E balancing, and strict
+nesting of X events per (pid, tid) track.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.telemetry.hub import NullTelemetry, Telemetry
+from repro.telemetry.sinks import SCHEMA_VERSION, json_safe
+
+__all__ = [
+    "complete_event",
+    "to_chrome_trace",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]
+
+#: pid of the wall-clock span track.
+WALL_PID = 0
+#: pid of bridged simulated-time timelines.
+SIMULATED_PID = 1
+
+_NESTING_EPS = 1e-6
+
+
+def complete_event(
+    name: str,
+    ts_us: float,
+    dur_us: float,
+    *,
+    category: str = "repro",
+    pid: int = WALL_PID,
+    tid: int = 0,
+    args: dict | None = None,
+) -> dict:
+    """One complete ("X") trace event with non-negative ts/dur."""
+    ts_us = max(0.0, round(ts_us, 3))
+    event = {
+        "name": name,
+        "cat": category,
+        "ph": "X",
+        "ts": ts_us,
+        "dur": max(0.0, round(dur_us, 3)),
+        "pid": pid,
+        "tid": tid,
+    }
+    if args:
+        event["args"] = json_safe(args)
+    return event
+
+
+def _metadata_event(name: str, pid: int, tid: int, value: str) -> dict:
+    return {
+        "name": name,
+        "ph": "M",
+        "pid": pid,
+        "tid": tid,
+        "ts": 0,
+        "args": {"name": value},
+    }
+
+
+def to_chrome_trace(hub: Telemetry | NullTelemetry) -> dict:
+    """Render everything ``hub`` recorded as one Chrome trace object."""
+    events: list[dict] = []
+    tids: set[int] = set()
+    for record in hub.spans:
+        tid = 0 if record.worker is None else record.worker + 1
+        tids.add(tid)
+        # Rebase both endpoints onto the hub epoch and round them the
+        # same way: rounding is monotone, so children stay strictly
+        # nested inside their parents even at microsecond resolution.
+        ts = max(0.0, round((record.start - hub.epoch) * 1e6, 3))
+        end = max(ts, round((record.end - hub.epoch) * 1e6, 3))
+        events.append(
+            complete_event(
+                record.name,
+                ts,
+                end - ts,
+                category=record.category,
+                pid=WALL_PID,
+                tid=tid,
+                args=record.attributes,
+            )
+        )
+    meta = [_metadata_event("process_name", WALL_PID, 0, "repro (wall clock)")]
+    for tid in sorted(tids):
+        label = "main" if tid == 0 else f"worker-{tid - 1}"
+        meta.append(_metadata_event("thread_name", WALL_PID, tid, label))
+    simulated = list(hub.simulated)
+    if simulated:
+        meta.append(
+            _metadata_event(
+                "process_name", SIMULATED_PID, 0, "repro (simulated time)"
+            )
+        )
+    return {
+        "traceEvents": meta + events + simulated,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "schema": "repro-telemetry",
+            "schema_version": SCHEMA_VERSION,
+            "metrics": json_safe(hub.metrics_snapshot()),
+        },
+    }
+
+
+def write_chrome_trace(path: str | Path, hub: Telemetry | NullTelemetry) -> dict:
+    """Export, validate, and write ``hub``'s trace to ``path``."""
+    trace = to_chrome_trace(hub)
+    validate_chrome_trace(trace)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(trace, handle, separators=(",", ":"))
+    return trace
+
+
+# -- validation ---------------------------------------------------------------
+
+
+def validate_chrome_trace(trace) -> dict:
+    """Check a trace object loads in ``chrome://tracing`` / Perfetto.
+
+    Accepts the object form (dict), a bare event list, or a JSON
+    string.  Raises :class:`ValueError` on the first problem; returns
+    the parsed trace on success.  Checks: JSON-serialisability, every
+    event has a phase, X events have non-negative ``ts``/``dur``, B/E
+    events balance per (pid, tid) with non-decreasing timestamps, and X
+    events on one (pid, tid) track are properly nested (no partial
+    overlap).
+    """
+    if isinstance(trace, (str, bytes)):
+        trace = json.loads(trace)
+    if isinstance(trace, list):
+        events = trace
+    elif isinstance(trace, dict):
+        events = trace.get("traceEvents")
+        if not isinstance(events, list):
+            raise ValueError("trace object has no 'traceEvents' list")
+    else:
+        raise ValueError(f"not a chrome trace: {type(trace).__name__}")
+    try:
+        json.dumps(trace)
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"trace is not JSON-serialisable: {exc}") from exc
+
+    open_be: dict[tuple, list] = {}
+    x_events: dict[tuple, list] = {}
+    for i, event in enumerate(events):
+        if not isinstance(event, dict) or "ph" not in event:
+            raise ValueError(f"event {i} has no phase ('ph')")
+        phase = event["ph"]
+        if phase not in ("X", "B", "E", "M", "C", "i", "I"):
+            raise ValueError(f"event {i} has unsupported phase {phase!r}")
+        if phase == "M":
+            continue
+        if not isinstance(event.get("name"), str):
+            raise ValueError(f"event {i} has no name")
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            raise ValueError(f"event {i} ({event['name']!r}) has bad ts {ts!r}")
+        track = (event.get("pid", 0), event.get("tid", 0))
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ValueError(
+                    f"event {i} ({event['name']!r}) has negative or missing "
+                    f"duration {dur!r}"
+                )
+            x_events.setdefault(track, []).append((ts, dur, event["name"]))
+        elif phase == "B":
+            open_be.setdefault(track, []).append((event["name"], ts))
+        elif phase == "E":
+            stack = open_be.get(track)
+            if not stack:
+                raise ValueError(
+                    f"event {i}: 'E' for {event['name']!r} with no open 'B' "
+                    f"on track {track}"
+                )
+            name, begin_ts = stack.pop()
+            if event["name"] != name:
+                raise ValueError(
+                    f"event {i}: 'E' name {event['name']!r} does not match "
+                    f"open 'B' {name!r}"
+                )
+            if ts < begin_ts:
+                raise ValueError(
+                    f"event {i}: {name!r} ends at {ts} before it began "
+                    f"at {begin_ts}"
+                )
+    for track, stack in open_be.items():
+        if stack:
+            names = [name for name, _ in stack]
+            raise ValueError(f"unclosed 'B' events on track {track}: {names}")
+
+    for track, spans in x_events.items():
+        spans.sort(key=lambda s: (s[0], -s[1]))
+        ends: list[tuple[float, str]] = []
+        for ts, dur, name in spans:
+            while ends and ts >= ends[-1][0] - _NESTING_EPS:
+                ends.pop()
+            end = ts + dur
+            if ends and end > ends[-1][0] + _NESTING_EPS:
+                raise ValueError(
+                    f"X events overlap without nesting on track {track}: "
+                    f"{name!r} [{ts}, {end}] crosses the end of "
+                    f"{ends[-1][1]!r} at {ends[-1][0]}"
+                )
+            ends.append((end, name))
+    return trace

@@ -1,0 +1,90 @@
+"""Telemetry sinks: streaming JSONL with a versioned schema.
+
+The hub's in-memory ring buffer is the always-on sink; a
+:class:`JsonlSink` additionally streams every closed span to disk as one
+JSON object per line, so a crashed run still leaves a readable partial
+trace.  Line schema (``SCHEMA_VERSION`` = 1):
+
+``{"type": "meta", "schema": "repro-telemetry", "version": 1, ...}``
+    First line of every file.
+``{"type": "span", "name", "cat", "ts", "dur", "id", "parent",
+"worker", "attrs"}``
+    One closed span; ``ts``/``dur`` are seconds relative to the hub
+    epoch.
+``{"type": "metric", "kind", "name", ...}``
+    One metric snapshot (written on close).
+
+Every line parses independently with ``json.loads``; attribute values
+that are not JSON-native are stringified rather than dropped.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+
+from repro.telemetry.hub import SpanRecord
+
+__all__ = ["SCHEMA_VERSION", "JsonlSink", "json_safe"]
+
+#: Version of the JSONL line schema (bump on breaking changes).
+SCHEMA_VERSION = 1
+
+
+def json_safe(value):
+    """Recursively coerce ``value`` into JSON-native types (fallback str)."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, dict):
+        return {str(k): json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set)):
+        return [json_safe(v) for v in value]
+    return str(value)
+
+
+class JsonlSink:
+    """Streams spans and metric snapshots to a JSONL file."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        self._handle = open(self.path, "w", encoding="utf-8")
+        self._write(
+            {
+                "type": "meta",
+                "schema": "repro-telemetry",
+                "version": SCHEMA_VERSION,
+                "clock": "perf_counter",
+            }
+        )
+
+    def _write(self, obj: dict) -> None:
+        line = json.dumps(obj, separators=(",", ":"))
+        with self._lock:
+            self._handle.write(line + "\n")
+
+    def emit_span(self, record: SpanRecord, epoch: float) -> None:
+        self._write(
+            {
+                "type": "span",
+                "name": record.name,
+                "cat": record.category,
+                "ts": max(0.0, record.start - epoch),
+                "dur": record.duration,
+                "id": record.span_id,
+                "parent": record.parent_id,
+                "worker": record.worker,
+                "attrs": json_safe(record.attributes),
+            }
+        )
+
+    def emit_metrics(self, snapshots) -> None:
+        for snap in snapshots:
+            self._write({"type": "metric", **json_safe(snap)})
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.flush()
+                self._handle.close()

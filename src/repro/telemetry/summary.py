@@ -1,0 +1,71 @@
+"""Plain-text telemetry report: top spans by self-time, metric totals.
+
+``repro.telemetry.summarize()`` renders the active hub; the CLI prints
+it to stderr under ``-v`` after a ``--telemetry`` run so an operator
+sees where the wall-clock went without opening the trace file.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.hub import NullTelemetry, Telemetry
+
+__all__ = ["render_summary"]
+
+
+def _aggregate_spans(hub) -> list[dict]:
+    """Per-name totals: call count, total time, self time (no children)."""
+    child_total: dict[int, float] = {}
+    for record in hub.spans:
+        if record.parent_id is not None:
+            child_total[record.parent_id] = (
+                child_total.get(record.parent_id, 0.0) + record.duration
+            )
+    by_name: dict[str, dict] = {}
+    for record in hub.spans:
+        agg = by_name.setdefault(
+            record.name,
+            {"name": record.name, "count": 0, "total": 0.0, "self": 0.0},
+        )
+        agg["count"] += 1
+        agg["total"] += record.duration
+        agg["self"] += max(
+            0.0, record.duration - child_total.get(record.span_id, 0.0)
+        )
+    return sorted(by_name.values(), key=lambda a: (-a["self"], a["name"]))
+
+
+def render_summary(
+    hub: Telemetry | NullTelemetry, top: int = 15
+) -> str:
+    """Human-readable summary of one hub's spans and metrics."""
+    if not hub.enabled:
+        return "telemetry disabled"
+    lines = ["telemetry summary", "-----------------"]
+    aggregates = _aggregate_spans(hub)
+    if aggregates:
+        lines.append(
+            f"{'span':32s} {'count':>7s} {'total s':>10s} {'self s':>10s}"
+        )
+        for agg in aggregates[:top]:
+            lines.append(
+                f"{agg['name']:32s} {agg['count']:7d} "
+                f"{agg['total']:10.3f} {agg['self']:10.3f}"
+            )
+        if len(aggregates) > top:
+            lines.append(f"... and {len(aggregates) - top} more span names")
+    else:
+        lines.append("no spans recorded")
+    snapshots = hub.metrics_snapshot()
+    if snapshots:
+        lines.append("")
+        lines.append("metrics")
+        for snap in snapshots:
+            if snap["kind"] == "histogram":
+                mean = snap["total"] / snap["count"] if snap["count"] else 0.0
+                lines.append(
+                    f"  {snap['name']:30s} count={snap['count']} "
+                    f"total={snap['total']:.3f} mean={mean:.4f}"
+                )
+            else:
+                lines.append(f"  {snap['name']:30s} {snap['value']}")
+    return "\n".join(lines)

@@ -34,6 +34,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import telemetry
 from repro.config.space import Configuration
 from repro.insitu.measurement import WorkflowMeasurement, measure_workflow, stable_seed
 from repro.insitu.workflow import WorkflowDefinition
@@ -158,8 +159,10 @@ def generate_pool(
     """
     if replicates < 1:
         raise ValueError("replicates must be >= 1")
+    tel = telemetry.get()
     key = (workflow.name, size, seed, noise_sigma, replicates)
     if key in _POOL_MEMO:
+        tel.counter("cache_hits").inc()
         return _POOL_MEMO[key]
 
     cache = _cache_dir()
@@ -172,18 +175,25 @@ def generate_pool(
     if cache_file is not None and cache_file.exists():
         pool = _load_cached(lambda: _load_pool(workflow, cache_file), cache_file)
         if pool is not None:
+            tel.counter("cache_hits").inc()
             _POOL_MEMO[key] = pool
             return pool
 
-    rng = np.random.default_rng(stable_seed("pool", workflow.name, size, seed))
-    configs = workflow.space.sample(
-        rng, size, constraint=workflow.constraint, unique=True
-    )
-    measurements = tuple(
-        _measure_replicated(workflow, c, noise_sigma, seed, replicates)
-        for c in configs
-    )
-    pool = MeasuredPool(workflow.name, tuple(configs), measurements)
+    tel.counter("cache_misses").inc()
+    with tel.span(
+        "pool.generate", category="pool", workflow=workflow.name, size=size
+    ):
+        rng = np.random.default_rng(
+            stable_seed("pool", workflow.name, size, seed)
+        )
+        configs = workflow.space.sample(
+            rng, size, constraint=workflow.constraint, unique=True
+        )
+        measurements = tuple(
+            _measure_replicated(workflow, c, noise_sigma, seed, replicates)
+            for c in configs
+        )
+        pool = MeasuredPool(workflow.name, tuple(configs), measurements)
     _POOL_MEMO[key] = pool
     if cache_file is not None:
         _save_pool(pool, cache_file)
@@ -238,8 +248,10 @@ def generate_component_history(
     parallel trial workers and repeated driver invocations warm-start
     from the cache instead of re-running the solo measurements.
     """
+    tel = telemetry.get()
     key = (workflow.name, label, size, seed, noise_sigma)
     if key in _HISTORY_MEMO:
+        tel.counter("cache_hits").inc()
         return _HISTORY_MEMO[key]
     cache = _cache_dir()
     cache_file = (
@@ -252,8 +264,31 @@ def generate_component_history(
             lambda: _load_history(workflow, label, cache_file), cache_file
         )
         if history is not None:
+            tel.counter("cache_hits").inc()
             _HISTORY_MEMO[key] = history
             return history
+    tel.counter("cache_misses").inc()
+    with tel.span(
+        "history.generate",
+        category="pool",
+        workflow=workflow.name,
+        label=label,
+        size=size,
+    ):
+        history = _generate_history(workflow, label, size, seed, noise_sigma)
+    _HISTORY_MEMO[key] = history
+    if cache_file is not None:
+        _save_history(history, cache_file)
+    return history
+
+
+def _generate_history(
+    workflow: WorkflowDefinition,
+    label: str,
+    size: int,
+    seed: int,
+    noise_sigma: float,
+) -> ComponentHistory:
     app = workflow.app(label)
     machine = workflow.machine
     rng = np.random.default_rng(
@@ -279,17 +314,13 @@ def generate_component_history(
         factor = float(np.exp(noise_rng.normal(0.0, noise_sigma)))
         exec_times[i] = solo.execution_seconds * factor
         comp_hours[i] = solo.computer_core_hours * factor
-    history = ComponentHistory(
+    return ComponentHistory(
         workflow_name=workflow.name,
         label=label,
         configs=tuple(configs),
         execution_seconds=exec_times,
         computer_core_hours=comp_hours,
     )
-    _HISTORY_MEMO[key] = history
-    if cache_file is not None:
-        _save_history(history, cache_file)
-    return history
 
 
 # -- disk cache ---------------------------------------------------------------------
