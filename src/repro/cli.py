@@ -105,6 +105,17 @@ def build_parser() -> argparse.ArgumentParser:
     tune.add_argument("--resume", action="store_true",
                       help="resume the session from --checkpoint (requires "
                       "the same workflow/objective/budget/seed)")
+    tune.add_argument("--store", metavar="PATH", default=None,
+                      help="measurement store database: every paid "
+                      "measurement of this run is recorded there "
+                      "(created if missing)")
+    tune.add_argument("--warm-start", choices=("off", "components", "full"),
+                      default="off",
+                      help="reuse stored measurements (requires --store): "
+                      "'components' seeds component models from stored "
+                      "solo runs instead of paying component batches; "
+                      "'full' also adopts matching stored workflow "
+                      "measurements as free samples")
 
     rep = sub.add_parser("reproduce", help="regenerate a paper table/figure")
     _add_common_flags(rep)
@@ -122,6 +133,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     rep.add_argument("--chart", action="store_true",
                      help="also render an ASCII chart of the rows")
+
+    store = sub.add_parser(
+        "store", help="inspect or maintain a measurement store"
+    )
+    _add_common_flags(store)
+    store.add_argument("action", choices=("stats", "gc", "export"))
+    store.add_argument("path", help="store database path")
+    store.add_argument(
+        "--keep-sessions", type=int, default=None, metavar="N",
+        help="gc: keep only the N newest sessions' measurements "
+        "(default: keep all, drop only cached models and orphans)")
     return parser
 
 
@@ -212,22 +234,39 @@ def _cmd_tune(args, out) -> int:
     if args.resume and not args.checkpoint:
         log.error("--resume requires --checkpoint PATH")
         return 2
+    if args.warm_start != "off" and not args.store:
+        log.error("--warm-start requires --store PATH")
+        return 2
+    store = None
+    if args.store:
+        from repro.store import MeasurementStore, set_default_store
+
+        store = MeasurementStore(args.store)
+        set_default_store(store)
     log.info(
         "tuning %s/%s with %s, budget %d, pool %d, seed %d",
         args.workflow, args.objective, args.algorithm, args.budget,
         args.pool_size, args.seed,
     )
-    outcome = AutoTuner(
-        workflow,
-        objective=args.objective,
-        budget=args.budget,
-        algorithm=_make_algorithm(args.algorithm, args.use_history),
-        pool_size=args.pool_size,
-        use_history=args.use_history,
-        seed=args.seed,
-        checkpoint_path=args.checkpoint,
-        resume=args.resume,
-    ).tune()
+    try:
+        outcome = AutoTuner(
+            workflow,
+            objective=args.objective,
+            budget=args.budget,
+            algorithm=_make_algorithm(args.algorithm, args.use_history),
+            pool_size=args.pool_size,
+            use_history=args.use_history,
+            seed=args.seed,
+            checkpoint_path=args.checkpoint,
+            resume=args.resume,
+            store=store,
+            warm_start=args.warm_start,
+        ).tune()
+    finally:
+        if store is not None:
+            from repro.store import set_default_store
+
+            set_default_store(None)
     named = workflow.space.as_dict(outcome.best_config)
     print(f"workflow      : {args.workflow}", file=out)
     print(f"objective     : {args.objective}", file=out)
@@ -244,6 +283,17 @@ def _cmd_tune(args, out) -> int:
         file=out,
     )
     print(f"tuning cost   : {outcome.cost:.2f} {unit}", file=out)
+    if store is not None:
+        trace = outcome.result.trace
+        detail = dict(trace[0].detail) if trace else {}
+        print(f"store         : {args.store}", file=out)
+        if args.warm_start != "off":
+            print(
+                f"warm start    : {args.warm_start} "
+                f"(solo samples reused {detail.get('warm_components', 0)}, "
+                f"measurements adopted {detail.get('warm_adopted', 0)})",
+                file=out,
+            )
     return 0
 
 
@@ -275,6 +325,31 @@ def _cmd_reproduce(args, out) -> int:
     return 0
 
 
+def _cmd_store(args, out) -> int:
+    import json
+    import os
+
+    from repro.store import MeasurementStore
+
+    if not os.path.exists(args.path):
+        log.error("store database %s does not exist", args.path)
+        return 2
+    store = MeasurementStore(args.path)
+    try:
+        if args.action == "stats":
+            payload = store.stats()
+        elif args.action == "export":
+            payload = store.export()
+        else:
+            payload = store.gc(keep_sessions=args.keep_sessions)
+            log.info("gc: %s", payload)
+    finally:
+        store.close()
+    json.dump(payload, out, indent=2, default=str)
+    print(file=out)
+    return 0
+
+
 def main(argv: list[str] | None = None, out=None) -> int:
     """CLI entry point; returns a process exit code."""
     out = out or sys.stdout
@@ -298,6 +373,8 @@ def _dispatch(args, out) -> int:
         return _cmd_tune(args, out)
     if args.command == "reproduce":
         return _cmd_reproduce(args, out)
+    if args.command == "store":
+        return _cmd_store(args, out)
     raise AssertionError("unreachable")
 
 

@@ -59,9 +59,24 @@ class AlphStrategy(SearchStrategy):
     def prepare(self, session: TuningSession) -> None:
         problem = session.problem
         m = session.budget
+        warm = None
+        if problem.warm_start in ("components", "full") and not (
+            self.use_history and problem.collector.histories
+        ):
+            from repro.store.warmstart import component_warm_data
+
+            warm = component_warm_data(problem)
         if self.use_history and problem.collector.histories:
             self._component_data = problem.collector.free_component_history()
             self._m_workflow = m
+        elif warm is not None:
+            # Stored solo runs replace the paid component batches; the
+            # whole budget stays available for workflow runs.
+            self._component_data = warm
+            self._m_workflow = m
+            session.annotate(
+                warm_components=sum(len(d.configs) for d in warm.values())
+            )
         else:
             n_batches = min(
                 max(2, round(self.component_runs_fraction * m)), m - 2
@@ -84,6 +99,7 @@ class AlphStrategy(SearchStrategy):
             problem.objective,
             self._component_data,
             random_state=problem.seed,
+            registry=problem.model_registry,
         )
         self._model = problem.make_surrogate(
             extra_features=ComponentFeatureMap(component_models)

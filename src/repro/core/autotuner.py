@@ -90,6 +90,13 @@ class AutoTuner:
     resume:
         Restore the session from ``checkpoint_path`` and finish it; the
         completed run is bit-identical to an uninterrupted one.
+    store:
+        A :class:`~repro.store.db.MeasurementStore` (or database path):
+        every paid measurement is durably recorded through it, and
+        ``warm_start`` can draw on what earlier sessions stored.
+    warm_start:
+        ``"off"``, ``"components"``, or ``"full"`` (see
+        :class:`~repro.core.problem.TuningProblem`); requires ``store``.
     """
 
     workflow: WorkflowDefinition
@@ -104,6 +111,8 @@ class AutoTuner:
     pool: MeasuredPool | None = None
     checkpoint_path: str | None = None
     resume: bool = False
+    store: object | None = None
+    warm_start: str = "off"
 
     def __post_init__(self) -> None:
         if isinstance(self.objective, str):
@@ -133,6 +142,8 @@ class AutoTuner:
             budget_runs=self.budget,
             seed=self.seed,
             histories=histories,
+            store=self.store,
+            warm_start=self.warm_start,
         )
         # Only forward checkpoint options when asked for: user-supplied
         # algorithms may override ``tune(problem)`` without them.

@@ -130,8 +130,24 @@ class CealStrategy(SearchStrategy):
         self.m_r, self.m_0, self.iterations = self.settings.resolve(m)
 
         # -- Phase 1: low-fidelity model (Alg. 1 lines 1–6) -------------------
+        warm = None
+        if problem.warm_start in ("components", "full") and not (
+            self.settings.use_history and collector.histories
+        ):
+            from repro.store.warmstart import component_warm_data
+
+            warm = component_warm_data(problem)
         if self.settings.use_history and collector.histories:
             self._component_data = collector.free_component_history()
+        elif warm is not None:
+            # Stored solo runs stand in for the paid component batches:
+            # m_R drops to zero and the freed budget flows into Phase 2
+            # through the m_B formula below.
+            self._component_data = warm
+            self.m_r = 0
+            session.annotate(
+                warm_components=sum(len(d.configs) for d in warm.values())
+            )
         elif self.m_r > 0:
             self._component_data = collector.measure_components(
                 self.m_r, problem.rng
@@ -172,6 +188,7 @@ class CealStrategy(SearchStrategy):
             problem.objective,
             self._component_data,
             random_state=problem.seed,
+            registry=problem.model_registry,
         )
         self.low_fidelity = LowFidelityModel(component_models)
 

@@ -70,6 +70,11 @@ class Collector:
     failure_rate / failure_seed:
         Optional fault injection: each run fails independently with this
         probability (budget and cost are still charged).
+    store:
+        Optional :class:`~repro.store.db.StoreBinding`: every paid
+        ``measure``/``measure_components`` batch is durably recorded
+        through it (write-through, one transaction per batch).  Purely
+        observational — results are bit-identical with or without it.
     """
 
     pool: MeasuredPool
@@ -78,6 +83,7 @@ class Collector:
     budget_runs: int | None = None
     failure_rate: float = 0.0
     failure_seed: int = 0
+    store: object | None = None
 
     runs_used: int = field(init=False, default=0)
     cost_execution_seconds: float = field(init=False, default=0.0)
@@ -138,24 +144,49 @@ class Collector:
 
     def _measure(self, configs: Sequence[Configuration]) -> dict:
         out: dict = {}
-        for config in configs:
+        recorded: list = []
+        try:
+            for config in configs:
+                config = tuple(config)
+                if config in self._measured:
+                    raise ValueError(
+                        f"configuration {config!r} was already measured; "
+                        "algorithms must draw fresh configurations"
+                    )
+                self._charge(1)
+                measurement = self.pool.lookup(config)
+                self.cost_execution_seconds += measurement.execution_seconds
+                self.cost_core_hours += measurement.computer_core_hours
+                if self.failure_rate > 0 and self._fail_rng.random() < self.failure_rate:
+                    self.failures += 1
+                    continue
+                value = measurement.objective(self.objective.name)
+                self._measured[config] = value
+                out[config] = value
+                recorded.append((config, measurement))
+        finally:
+            # Even a batch aborted mid-way (exhausted budget) durably
+            # records the measurements it did pay for.
+            if self.store is not None and recorded:
+                self.store.record_workflow(recorded)
+        return out
+
+    def adopt(self, measurements: dict) -> int:
+        """Adopt free, already-measured values (warm start).
+
+        The configurations enter :attr:`measured` without consuming
+        budget or accumulating cost — they were paid for by an earlier
+        session and replayed from the measurement store.  Already-known
+        configurations are skipped; returns the number adopted.
+        """
+        count = 0
+        for config, value in measurements.items():
             config = tuple(config)
             if config in self._measured:
-                raise ValueError(
-                    f"configuration {config!r} was already measured; "
-                    "algorithms must draw fresh configurations"
-                )
-            self._charge(1)
-            measurement = self.pool.lookup(config)
-            self.cost_execution_seconds += measurement.execution_seconds
-            self.cost_core_hours += measurement.computer_core_hours
-            if self.failure_rate > 0 and self._fail_rng.random() < self.failure_rate:
-                self.failures += 1
                 continue
-            value = measurement.objective(self.objective.name)
-            self._measured[config] = value
-            out[config] = value
-        return out
+            self._measured[config] = float(value)
+            count += 1
+        return count
 
     @property
     def measured(self) -> dict:
@@ -224,6 +255,14 @@ class Collector:
                 execution_seconds=subset.execution_seconds,
                 computer_core_hours=subset.computer_core_hours,
             )
+        if self.store is not None:
+            for label, data in out.items():
+                self.store.record_components(
+                    label,
+                    data.configs,
+                    data.execution_seconds,
+                    data.computer_core_hours,
+                )
         return out
 
     def free_component_history(self) -> dict[str, ComponentBatchData]:
@@ -254,6 +293,13 @@ class Collector:
             "failures": self.failures,
             "measured": tuple(self._measured.items()),
             "fail_rng_state": self._fail_rng.bit_generator.state,
+            # The store binding itself is reconstructed by the caller;
+            # only the session id round-trips, so a resumed run keeps
+            # recording under the session it started as and the store's
+            # row-key dedupe never sees a second session's duplicates.
+            "store_session": (
+                self.store.session if self.store is not None else None
+            ),
         }
 
     def restore_state(self, state: dict) -> None:
@@ -264,6 +310,9 @@ class Collector:
         self.failures = state["failures"]
         self._measured = dict(state["measured"])
         self._fail_rng.bit_generator.state = state["fail_rng_state"]
+        session = state.get("store_session")
+        if self.store is not None and session:
+            self.store.session = session
 
     def cost(self, objective: Objective | None = None) -> float:
         """Accumulated data-collection cost ``c`` in objective units."""

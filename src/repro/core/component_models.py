@@ -75,11 +75,16 @@ class ComponentModelSet:
         objective: Objective,
         component_data: dict[str, ComponentBatchData],
         random_state: int | None = None,
+        registry=None,
     ) -> "ComponentModelSet":
         """Train per-component models from solo measurement batches.
 
         Components absent from ``component_data`` (the unconfigurable
         ones) are modelled as constants via one closed-form solo run.
+        When a :class:`~repro.store.registry.ModelRegistry` is given,
+        fitted regressors are cached by a hash of their exact training
+        inputs; fits are deterministic, so a registry hit returns the
+        same model a refit would.
         """
         models: dict = {}
         for label in workflow.labels:
@@ -91,11 +96,31 @@ class ComponentModelSet:
                         f"component {label!r} needs at least 2 solo samples"
                     )
                 encoder = ConfigEncoder(app.space)
-                regressor = _component_regressor(random_state)
-                regressor.fit(
-                    encoder.encode(data.configs),
-                    data.objective_values(objective),
-                )
+                X = encoder.encode(data.configs)
+                y = data.objective_values(objective)
+
+                def fit(X=X, y=y):
+                    regressor = _component_regressor(random_state)
+                    regressor.fit(X, y)
+                    return regressor
+
+                if registry is not None:
+                    from repro.store.registry import training_key
+
+                    template = _component_regressor(random_state)
+                    key = training_key(
+                        "component-gbt",
+                        label,
+                        objective.name,
+                        X,
+                        y,
+                        repr(template),
+                    )
+                    regressor = registry.fit_or_load(
+                        key, fit, kind="component-gbt"
+                    )
+                else:
+                    regressor = fit()
                 models[label] = _ComponentModel(label, encoder, regressor, None)
             else:
                 # Constant predictor from the single/default configuration.

@@ -519,6 +519,12 @@ class TuningDriver:
             self._restore(payload, strategy, session)
         else:
             with tel.span("driver.prepare", category="driver") as prep_span:
+                if problem.warm_start == "full":
+                    from repro.store.warmstart import adopt_stored_measurements
+
+                    adopted = adopt_stored_measurements(session)
+                    if adopted:
+                        session.annotate(warm_adopted=adopted)
                 strategy.prepare(session)
                 if session.collector.runs_used > 0 or session.has_pending:
                     event = session.emit(kind="setup", batch=(), results={})

@@ -31,7 +31,15 @@ __all__ = ["TuningProblem", "AutotuneResult"]
 
 @dataclass
 class TuningProblem:
-    """One auto-tuning task: find a good configuration under budget ``m``."""
+    """One auto-tuning task: find a good configuration under budget ``m``.
+
+    ``warm_start`` selects how much stored history the session may
+    reuse: ``"off"`` (cold), ``"components"`` (Phase-1 strategies seed
+    component models from stored solo runs), or ``"full"``
+    (additionally adopt matching stored workflow measurements as free
+    samples before the first proposal).  Either mode is inert without a
+    bound store.
+    """
 
     workflow: WorkflowDefinition
     objective: Objective
@@ -39,6 +47,8 @@ class TuningProblem:
     collector: Collector
     rng: np.random.Generator
     seed: int
+    warm_start: str = "off"
+    _registry: object | None = field(init=False, default=None, repr=False)
 
     @classmethod
     def create(
@@ -50,10 +60,31 @@ class TuningProblem:
         seed: int = 0,
         histories: dict[str, ComponentHistory] | None = None,
         failure_rate: float = 0.0,
+        store=None,
+        warm_start: str = "off",
     ) -> "TuningProblem":
-        """Assemble a problem with a fresh budgeted collector."""
+        """Assemble a problem with a fresh budgeted collector.
+
+        ``store`` may be a :class:`~repro.store.db.MeasurementStore`
+        or a database path; it is bound to the collector for
+        write-through recording and enables the ``warm_start`` modes.
+        """
         if budget_runs < 2:
             raise ValueError("budget_runs must be at least 2")
+        binding = None
+        if store is not None:
+            from repro.store.db import MeasurementStore, StoreBinding
+
+            if not isinstance(store, MeasurementStore):
+                store = MeasurementStore(store)
+            binding = StoreBinding(store, workflow, objective.name, seed)
+        from repro.store.warmstart import WARM_START_MODES
+
+        if warm_start not in WARM_START_MODES:
+            raise ValueError(
+                f"warm_start must be one of {WARM_START_MODES}, "
+                f"got {warm_start!r}"
+            )
         collector = Collector(
             pool=pool,
             objective=objective,
@@ -61,6 +92,7 @@ class TuningProblem:
             budget_runs=budget_runs,
             failure_rate=failure_rate,
             failure_seed=stable_seed("failures", workflow.name, seed),
+            store=binding,
         )
         rng = np.random.default_rng(
             stable_seed("tuning", workflow.name, objective.name, seed)
@@ -72,7 +104,30 @@ class TuningProblem:
             collector=collector,
             rng=rng,
             seed=seed,
+            warm_start=warm_start,
         )
+
+    @property
+    def store(self):
+        """The collector's store binding (``None`` when unbound)."""
+        return self.collector.store
+
+    @property
+    def model_registry(self):
+        """Per-problem fitted-model registry (``None`` without a store).
+
+        Loading a registered model is equivalent to refitting — fits
+        are deterministic functions of their inputs — so the registry
+        saves wall-clock, never changes results.
+        """
+        binding = self.collector.store
+        if binding is None:
+            return None
+        if self._registry is None:
+            from repro.store.registry import ModelRegistry
+
+            self._registry = ModelRegistry(binding.store)
+        return self._registry
 
     @property
     def pool_configs(self) -> tuple[Configuration, ...]:

@@ -276,6 +276,8 @@ class _TrialContext:
     failure_rate: float
     recall_max_n: int
     tasks: list  # (spec, rep, seed) in serial order
+    store: object | None = None
+    warm_start: str = "off"
 
 
 def _run_one_trial(ctx: _TrialContext, index: int) -> TrialMetrics:
@@ -290,7 +292,14 @@ def _run_one_trial(ctx: _TrialContext, index: int) -> TrialMetrics:
         seed=seed,
         histories=ctx.histories,
         failure_rate=ctx.failure_rate,
+        store=ctx.store,
+        warm_start=ctx.warm_start,
     )
+    if problem.store is not None:
+        # Distinguish repeats in provenance: (seed, repeat) keys the
+        # store's row dedupe, and forked workers inherit the store
+        # object (its connection reopens per pid).
+        problem.store.repeat = rep
     algorithm = spec.factory()
     with tel.span(
         "runner.trial",
@@ -347,6 +356,8 @@ def run_trials(
     recall_max_n: int = 10,
     failure_rate: float = 0.0,
     jobs: int | str | None = None,
+    store: object | None = None,
+    warm_start: str = "off",
 ) -> list[TrialMetrics]:
     """Run every algorithm ``repeats`` times and collect trial metrics.
 
@@ -362,9 +373,19 @@ def run_trials(
     ``REPRO_JOBS`` or serial).  Results are identical to serial
     execution in every deterministic field — only ``wall_seconds``
     varies between runs.
+
+    ``store`` (a :class:`~repro.store.db.MeasurementStore` or path)
+    records every trial's paid measurements write-through; forked
+    workers write to the same database under WAL concurrency.
+    ``warm_start`` forwards to every trial's problem.
     """
     if isinstance(workflow, str):
         workflow = make_workflow(workflow)
+    if store is not None:
+        from repro.store.db import MeasurementStore
+
+        if not isinstance(store, MeasurementStore):
+            store = MeasurementStore(store)
     objective = (
         get_objective(objective) if isinstance(objective, str) else objective
     )
@@ -396,6 +417,8 @@ def run_trials(
         failure_rate=failure_rate,
         recall_max_n=recall_max_n,
         tasks=tasks,
+        store=store,
+        warm_start=warm_start,
     )
     return fanout(_run_one_trial, ctx, len(tasks), jobs)
 

@@ -1,0 +1,76 @@
+"""Model registry: persisted fitted models keyed by training-set hash.
+
+Every model fit in this codebase is a deterministic function of
+``(training matrix, targets, hyper-parameters, random_state)``, so a
+fitted model can be cached by a content hash of exactly those inputs
+and reloaded cost-free — a warm-started session skips the boosted-tree
+fits it already paid for.  A registry miss (or a blob pickled by an
+incompatible code version) falls back to *refitting*, which by
+determinism produces the identical model: the registry can never change
+results, only save time.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.store.db import MeasurementStore
+from repro.store.signatures import signature
+
+__all__ = ["ModelRegistry", "training_key"]
+
+
+def training_key(
+    kind: str,
+    label: str,
+    objective: str,
+    X: np.ndarray,
+    y: np.ndarray,
+    params: str,
+) -> str:
+    """Content hash of one fit's complete inputs.
+
+    ``params`` is the repr of the *unfitted* estimator, which covers
+    every hyper-parameter including ``random_state``; the raw array
+    bytes (plus shapes — bytes alone do not fix the row split) cover
+    the training set.
+    """
+    X = np.ascontiguousarray(X, dtype=np.float64)
+    y = np.ascontiguousarray(y, dtype=np.float64)
+    return signature(
+        "fit",
+        kind,
+        label,
+        objective,
+        params,
+        X.shape,
+        X.tobytes(),
+        y.tobytes(),
+    )
+
+
+class ModelRegistry:
+    """Fitted-model cache on top of a :class:`MeasurementStore`.
+
+    ``fit_or_load`` is the whole contract: load the model stored under
+    the training-set hash, or run the supplied deterministic ``fit``
+    and persist its result for the next session.
+    """
+
+    def __init__(self, store: MeasurementStore) -> None:
+        self.store = store
+        #: (hits, misses) since construction, for diagnostics/tests.
+        self.hits = 0
+        self.misses = 0
+
+    def fit_or_load(self, key: str, fit: Callable[[], object], kind: str = "model"):
+        model = self.store.get_model(key)
+        if model is not None:
+            self.hits += 1
+            return model
+        self.misses += 1
+        model = fit()
+        self.store.put_model(key, model, kind=kind)
+        return model

@@ -1,0 +1,39 @@
+"""Process-wide default store binding.
+
+Subsystems that are not threaded through a tuning problem — the npz
+pool/history cache in :mod:`repro.workflows.pools` records its cache
+provenance here — look up the process's default store instead of taking
+a ``store=`` argument everywhere.  The CLI installs the ``--store``
+database as the default; the ``REPRO_STORE`` environment variable does
+the same for library and benchmark entry points.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.store.db import MeasurementStore
+
+__all__ = ["get_default_store", "set_default_store"]
+
+_DEFAULT: MeasurementStore | None = None
+_ENV_OPENED: dict[str, MeasurementStore] = {}
+
+
+def set_default_store(store: MeasurementStore | None) -> None:
+    """Install (or clear, with ``None``) the process default store."""
+    global _DEFAULT
+    _DEFAULT = store
+
+
+def get_default_store() -> MeasurementStore | None:
+    """The default store: explicit binding first, then ``REPRO_STORE``."""
+    if _DEFAULT is not None:
+        return _DEFAULT
+    path = os.environ.get("REPRO_STORE")
+    if not path:
+        return None
+    store = _ENV_OPENED.get(path)
+    if store is None:
+        store = _ENV_OPENED[path] = MeasurementStore(path)
+    return store

@@ -1,0 +1,80 @@
+"""Content signatures guarding the measurement store against stale data.
+
+Every stored row hangs off a *context* identified by a content hash of
+``(workflow name, config-space signature, config encoding, machine
+signature, objective)``.  Measurements taken under a different parameter
+space, a different derived-feature encoding, or different hardware can
+therefore never be confused with the current run's — a mismatched query
+simply returns nothing instead of silently corrupting a warm start.
+
+Signatures hash the *semantic content* (parameter names and value sets,
+machine specs, feature-column names), not object identities or reprs of
+live objects, so they are stable across processes and sessions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+
+__all__ = [
+    "config_from_json",
+    "config_to_json",
+    "encoding_signature",
+    "machine_signature",
+    "signature",
+    "space_signature",
+]
+
+
+def signature(*parts) -> str:
+    """Deterministic 128-bit hex digest of arbitrary repr-stable parts.
+
+    Like :func:`repro.insitu.measurement.stable_seed` but sized for use
+    as a database key: collisions across the handful of spaces, machines
+    and objectives a store ever sees are out of the question.
+    """
+    digest = hashlib.blake2b(repr(parts).encode(), digest_size=16)
+    return digest.hexdigest()
+
+
+def space_signature(space) -> str:
+    """Signature of a :class:`~repro.config.space.ParameterSpace`.
+
+    Hashes the ordered parameter names and their admissible value sets —
+    exactly the things that decide whether a stored configuration is
+    meaningful in the current space.
+    """
+    return signature(
+        "space", tuple((p.name, tuple(p.values)) for p in space.parameters)
+    )
+
+
+def encoding_signature(encoder) -> str:
+    """Signature of a :class:`~repro.config.encoding.ConfigEncoder`.
+
+    Only the feature *columns* matter: two encoders producing the same
+    named columns from the same space encode identically.
+    """
+    return signature("encoding", tuple(encoder.feature_names()))
+
+
+def machine_signature(machine) -> str:
+    """Signature of a :class:`~repro.cluster.machine.Machine`.
+
+    ``dataclasses.astuple`` recurses into the node spec, so any change to
+    cores, bandwidths or the allocation cap yields a new signature.
+    """
+    return signature("machine", dataclasses.astuple(machine))
+
+
+def config_to_json(config) -> str:
+    """Canonical JSON encoding of one configuration tuple."""
+    values = [v.item() if hasattr(v, "item") else v for v in config]
+    return json.dumps(values, separators=(",", ":"))
+
+
+def config_from_json(text: str) -> tuple:
+    """Inverse of :func:`config_to_json` (ints stay ints, floats floats)."""
+    return tuple(json.loads(text))

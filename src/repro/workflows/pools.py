@@ -138,6 +138,42 @@ def _cache_dir() -> Path | None:
     return path
 
 
+def _record_cache_provenance(
+    kind: str,
+    cache_file: Path,
+    workflow: WorkflowDefinition,
+    event: str,
+    label: str | None = None,
+    **extra,
+) -> None:
+    """Record a disk-cache event in the default store's metadata table.
+
+    Ties every npz cache file to the space and machine signatures it was
+    generated under, so ``repro store stats`` can audit which cached
+    pools/histories belong to which experimental context.  A no-op
+    without a default store (see :mod:`repro.store.runtime`).
+    """
+    from repro.store.runtime import get_default_store
+
+    store = get_default_store()
+    if store is None:
+        return
+    from repro.store.signatures import machine_signature, space_signature
+
+    space = workflow.app(label).space if label else workflow.space
+    payload = {
+        "kind": kind,
+        "event": event,
+        "workflow": workflow.name,
+        "space_sig": space_signature(space),
+        "machine_sig": machine_signature(workflow.machine),
+        **extra,
+    }
+    if label is not None:
+        payload["label"] = label
+    store.set_metadata(f"cache:{cache_file.name}", payload)
+
+
 def generate_pool(
     workflow: WorkflowDefinition,
     size: int = 2000,
@@ -176,6 +212,10 @@ def generate_pool(
         pool = _load_cached(lambda: _load_pool(workflow, cache_file), cache_file)
         if pool is not None:
             tel.counter("cache_hits").inc()
+            _record_cache_provenance(
+                "pool", cache_file, workflow, "hit",
+                size=size, seed=seed, noise_sigma=noise_sigma,
+            )
             _POOL_MEMO[key] = pool
             return pool
 
@@ -197,6 +237,10 @@ def generate_pool(
     _POOL_MEMO[key] = pool
     if cache_file is not None:
         _save_pool(pool, cache_file)
+        _record_cache_provenance(
+            "pool", cache_file, workflow, "miss",
+            size=size, seed=seed, noise_sigma=noise_sigma,
+        )
     return pool
 
 
@@ -265,6 +309,10 @@ def generate_component_history(
         )
         if history is not None:
             tel.counter("cache_hits").inc()
+            _record_cache_provenance(
+                "history", cache_file, workflow, "hit", label=label,
+                size=size, seed=seed, noise_sigma=noise_sigma,
+            )
             _HISTORY_MEMO[key] = history
             return history
     tel.counter("cache_misses").inc()
@@ -279,6 +327,10 @@ def generate_component_history(
     _HISTORY_MEMO[key] = history
     if cache_file is not None:
         _save_history(history, cache_file)
+        _record_cache_provenance(
+            "history", cache_file, workflow, "miss", label=label,
+            size=size, seed=seed, noise_sigma=noise_sigma,
+        )
     return history
 
 

@@ -134,6 +134,81 @@ class TestResumeDeterminism:
         assert result.best_config(lv_pool) == straight.best_config(lv_pool)
 
 
+class TestCheckpointWithStore:
+    """``--resume`` + ``--store`` never double-records (DESIGN §10)."""
+
+    def test_interrupted_and_resumed_run_records_once(
+        self, lv, lv_pool, lv_histories, tmp_path
+    ):
+        from repro.store import MeasurementStore
+
+        algo = lambda: Ceal(CealSettings(use_history=False))
+        straight_db = tmp_path / "straight.db"
+        resumed_db = tmp_path / "resumed.db"
+        straight = algo().tune(
+            make_problem(lv, lv_pool, lv_histories, store=straight_db)
+        )
+        resumed = run_interrupted(
+            algo,
+            lambda: make_problem(lv, lv_pool, lv_histories, store=resumed_db),
+            tmp_path / "store.ckpt",
+            2,
+        )
+        assert comparable(resumed) == comparable(straight)
+
+        with_straight = MeasurementStore(straight_db)
+        with_resumed = MeasurementStore(resumed_db)
+        a, b = with_straight.export(), with_resumed.export()
+        # Same measurement rows, once each — the interruption did not
+        # drop or duplicate anything (row-key dedupe + per-batch
+        # transactions).
+        strip = lambda rows: [
+            {
+                k: r[k]
+                for k in ("context_id", "config", "value", "seed", "repeat")
+            }
+            for r in rows
+        ]
+        assert strip(a["measurements"]) == strip(b["measurements"])
+        # The resumed run kept recording under the session it started
+        # as: the collector round-trips the store session id.
+        sessions = {r["session"] for r in b["measurements"]}
+        assert len(sessions) == 1
+        with_straight.close()
+        with_resumed.close()
+
+    def test_collector_state_dict_round_trips_store_session(
+        self, lv, lv_pool, lv_histories, tmp_path
+    ):
+        problem = make_problem(
+            lv, lv_pool, lv_histories, store=tmp_path / "s.db"
+        )
+        state = problem.collector.state_dict()
+        assert state["store_session"] == problem.store.session
+        fresh = make_problem(
+            lv, lv_pool, lv_histories, store=tmp_path / "s.db"
+        )
+        assert fresh.store.session != problem.store.session
+        fresh.collector.restore_state(state)
+        assert fresh.store.session == problem.store.session
+
+    def test_storeless_checkpoint_still_restores(
+        self, lv, lv_pool, lv_histories, tmp_path
+    ):
+        # A checkpoint written without a store binds cleanly into a
+        # storeless problem (store_session is None) — and vice versa a
+        # store-bound collector tolerates a legacy state dict.
+        problem = make_problem(lv, lv_pool, lv_histories)
+        state = problem.collector.state_dict()
+        assert state["store_session"] is None
+        bound = make_problem(
+            lv, lv_pool, lv_histories, store=tmp_path / "s.db"
+        )
+        session = bound.store.session
+        bound.collector.restore_state(state)
+        assert bound.store.session == session  # unchanged
+
+
 class TestAutoTunerCheckpoint:
     def test_facade_passthrough(self, lv, tmp_path):
         path = tmp_path / "facade.ckpt"

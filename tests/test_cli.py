@@ -1,6 +1,7 @@
 """Tests for the command-line interface."""
 
 import io
+import json
 
 import pytest
 
@@ -35,6 +36,24 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_store_flags(self):
+        args = build_parser().parse_args(
+            ["tune", "--store", "runs.db", "--warm-start", "components"]
+        )
+        assert args.store == "runs.db"
+        assert args.warm_start == "components"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["tune", "--warm-start", "sideways"])
+
+    def test_store_subcommand(self):
+        args = build_parser().parse_args(["store", "stats", "runs.db"])
+        assert args.action == "stats"
+        assert args.path == "runs.db"
+        args = build_parser().parse_args(
+            ["store", "gc", "runs.db", "--keep-sessions", "2"]
+        )
+        assert args.keep_sessions == 2
+
 
 class TestTuneCommand:
     @pytest.mark.parametrize("algorithm", ["rs", "al", "ceal"])
@@ -58,6 +77,69 @@ class TestTuneCommand:
         assert "recommended configuration" in text
         assert "lammps.procs" in text
         assert "gap" in text
+
+
+class TestStoreWorkflow:
+    """The two-session CLI story: record, then warm-start."""
+
+    BASE = [
+        "tune",
+        "--workflow", "LV",
+        "--objective", "execution_time",
+        "--budget", "20",
+        "--pool-size", "150",
+        "--seed", "7",
+    ]
+
+    def test_record_then_warm_start(self, tmp_path):
+        db = str(tmp_path / "runs.db")
+        out = io.StringIO()
+        assert main(self.BASE + ["--store", db], out=out) == 0
+        assert f"store         : {db}" in out.getvalue()
+
+        out = io.StringIO()
+        code = main(
+            self.BASE + ["--store", db, "--warm-start", "components"],
+            out=out,
+        )
+        assert code == 0
+        assert "warm start    : components (solo samples reused 20" in (
+            out.getvalue()
+        )
+
+    def test_warm_start_requires_store(self):
+        code = main(
+            self.BASE + ["--warm-start", "components"], out=io.StringIO()
+        )
+        assert code == 2
+
+    def test_store_stats_gc_export(self, tmp_path):
+        db = str(tmp_path / "runs.db")
+        assert main(self.BASE + ["--store", db], out=io.StringIO()) == 0
+
+        out = io.StringIO()
+        assert main(["store", "stats", db], out=out) == 0
+        stats = json.loads(out.getvalue())
+        assert stats["workflow_measurements"] > 0
+        assert stats["component_measurements"] > 0
+
+        out = io.StringIO()
+        assert main(["store", "export", db], out=out) == 0
+        dump = json.loads(out.getvalue())
+        assert len(dump["measurements"]) == (
+            stats["workflow_measurements"] + stats["component_measurements"]
+        )
+
+        out = io.StringIO()
+        assert main(["store", "gc", db, "--keep-sessions", "0"], out=out) == 0
+        deleted = json.loads(out.getvalue())
+        assert deleted["measurements"] == len(dump["measurements"])
+
+    def test_store_missing_file_errors(self, tmp_path):
+        code = main(
+            ["store", "stats", str(tmp_path / "nope.db")], out=io.StringIO()
+        )
+        assert code == 2
 
 
 class TestReproduceCommand:

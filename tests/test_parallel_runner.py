@@ -122,6 +122,74 @@ class TestFanout:
         assert out == [10, 11, 12]
 
 
+class TestRunnerStore:
+    """Forked trial workers write through to one shared store."""
+
+    SPECS = (
+        AlgorithmSpec("RS", RandomSampling),
+        AlgorithmSpec("CEAL", lambda: Ceal(CealSettings(use_history=False))),
+    )
+    # Budget 12 resolves paid CEAL to m_r=2: component solo runs are
+    # actually charged, so their write-through path gets exercised too.
+    KWARGS = dict(budget=12, repeats=2, pool_size=150, pool_seed=7)
+
+    @staticmethod
+    def _stored_rows(path):
+        from repro.store import MeasurementStore
+
+        store = MeasurementStore(path)
+        try:
+            rows = [
+                (r["context_id"], r["config"], r["value"], r["seed"], r["repeat"])
+                for r in store.export()["measurements"]
+            ]
+            stats = store.stats()
+        finally:
+            store.close()
+        return rows, stats
+
+    def test_parallel_workers_record_every_trial(self, lv, tmp_path):
+        db = tmp_path / "trials.db"
+        trials = run_trials(
+            lv, "execution_time", self.SPECS, jobs=2, store=db, **self.KWARGS
+        )
+        rows, stats = self._stored_rows(db)
+        # Every trial's runs landed despite the fork boundary (the
+        # inherited store reopens its connection per pid).  Paid CEAL
+        # at budget 12 charges m_r=2 solo configs per trial against
+        # runs_used; those are recorded as one component row per
+        # configurable component instead of workflow rows.
+        m_r = 2
+        ceal_trials = sum(1 for t in trials if t.algorithm == "CEAL")
+        configurable = sum(
+            1 for label in lv.labels if lv.app(label).space.size() > 1
+        )
+        assert stats["workflow_measurements"] == (
+            sum(t.runs_used for t in trials) - m_r * ceal_trials
+        )
+        assert stats["component_measurements"] == (
+            m_r * configurable * ceal_trials
+        )
+        # Distinct repeats stay distinct rows: the runner stamps each
+        # trial's repeat into the binding before measuring.
+        assert {r[4] for r in rows} == {0, 1}
+
+    def test_serial_and_parallel_store_identical_rows(self, lv, tmp_path):
+        serial_db = tmp_path / "serial.db"
+        parallel_db = tmp_path / "parallel.db"
+        run_trials(
+            lv, "execution_time", self.SPECS, jobs=1, store=serial_db,
+            **self.KWARGS,
+        )
+        run_trials(
+            lv, "execution_time", self.SPECS, jobs=2, store=parallel_db,
+            **self.KWARGS,
+        )
+        serial_rows, _ = self._stored_rows(serial_db)
+        parallel_rows, _ = self._stored_rows(parallel_db)
+        assert sorted(serial_rows) == sorted(parallel_rows)
+
+
 class TestParallelDeterminism:
     def test_jobs4_bit_identical_to_jobs1(self, lv):
         specs = (

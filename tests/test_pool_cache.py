@@ -99,6 +99,55 @@ class TestPoolCache:
         )
 
 
+class TestCacheProvenance:
+    """Disk-cache events land in the default store's metadata table."""
+
+    @pytest.fixture()
+    def default_store(self, tmp_path):
+        from repro.store import MeasurementStore, set_default_store
+
+        store = MeasurementStore(tmp_path / "provenance.db")
+        set_default_store(store)
+        yield store
+        set_default_store(None)
+        store.close()
+
+    def test_pool_miss_then_hit_recorded(self, lv, cache_dir, default_store):
+        from repro.store import machine_signature, space_signature
+
+        generate_pool(lv, POOL_SIZE, seed=9101)
+        (cache_file,) = cache_dir.glob("pool_*.npz")
+        row = default_store.get_metadata(f"cache:{cache_file.name}")
+        assert row["event"] == "miss"
+        assert row["kind"] == "pool"
+        assert row["workflow"] == lv.name
+        assert row["space_sig"] == space_signature(lv.space)
+        assert row["machine_sig"] == machine_signature(lv.machine)
+        assert row["seed"] == 9101
+        pools._POOL_MEMO.clear()
+        generate_pool(lv, POOL_SIZE, seed=9101)
+        row = default_store.get_metadata(f"cache:{cache_file.name}")
+        assert row["event"] == "hit"
+
+    def test_history_provenance_carries_component_space(
+        self, lv, cache_dir, default_store
+    ):
+        from repro.store import space_signature
+
+        label = _configurable_label(lv)
+        generate_component_history(lv, label, size=HIST_SIZE, seed=9102)
+        (cache_file,) = cache_dir.glob("history_*.npz")
+        row = default_store.get_metadata(f"cache:{cache_file.name}")
+        assert row["kind"] == "history"
+        assert row["label"] == label
+        assert row["space_sig"] == space_signature(lv.app(label).space)
+
+    def test_no_store_means_no_recording(self, lv, cache_dir):
+        # Without a default store the cache works exactly as before.
+        generate_pool(lv, POOL_SIZE, seed=9103)
+        assert list(cache_dir.glob("pool_*.npz"))
+
+
 class TestHistoryCache:
     def test_roundtrip(self, lv, cache_dir):
         label = _configurable_label(lv)

@@ -74,3 +74,33 @@ def test_reproduces_pre_refactor_output(key, lv, lv_pool, lv_histories):
     assert [list(c) for c in result.measured] == pin["measured_configs"]
     assert list(result.measured.values()) == pin["measured_values"]
     assert list(result.best_config(lv_pool)) == pin["recommendation"]
+
+
+@pytest.mark.parametrize("warm_start", ["off", "components", "full"])
+@pytest.mark.parametrize("key", ["rs", "ceal_paid", "alph_paid"])
+def test_empty_store_preserves_pinned_output(
+    key, warm_start, lv, lv_pool, lv_histories, tmp_path
+):
+    """Binding an empty store — under any warm-start mode — changes nothing.
+
+    The store's bit-identity guarantee: write-through recording and the
+    warm-start layers are purely additive, so against an empty database
+    every algorithm still reproduces its pinned pre-store output.
+    """
+    pin = PINNED[key]
+    problem = TuningProblem.create(
+        workflow=lv,
+        objective=EXECUTION_TIME,
+        pool=lv_pool,
+        budget_runs=pin["budget"],
+        seed=3,
+        histories=lv_histories,
+        failure_rate=pin["failure_rate"],
+        store=tmp_path / "empty.db",
+        warm_start=warm_start,
+    )
+    result = CASES[key]().tune(problem)
+    assert result.runs_used == pin["runs_used"]
+    assert [list(c) for c in result.measured] == pin["measured_configs"]
+    assert list(result.measured.values()) == pin["measured_values"]
+    assert list(result.best_config(lv_pool)) == pin["recommendation"]

@@ -1,0 +1,400 @@
+"""The measurement store: recording, dedupe, concurrency, maintenance.
+
+Covers the core :mod:`repro.store` contracts: content-signature
+stability, write-through recording with row-key dedupe, the typed query
+API and its stable iteration order, the model registry's
+refit-on-miss equivalence, metadata/stats/gc/export maintenance, and —
+the concurrency stress — N forked processes writing interleaved batches
+to one database with no lost rows and no ``database is locked``
+surfacing.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sqlite3
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.store import (
+    MeasurementStore,
+    ModelRegistry,
+    StoreContext,
+    StoreError,
+    encoding_signature,
+    machine_signature,
+    signature,
+    space_signature,
+    training_key,
+)
+from repro.store.db import StoreBinding
+
+
+@pytest.fixture()
+def store(tmp_path):
+    st = MeasurementStore(tmp_path / "store.db")
+    yield st
+    st.close()
+
+
+def make_context(**overrides) -> StoreContext:
+    base = dict(
+        kind="workflow",
+        workflow="LV",
+        label="",
+        space_sig="space-a",
+        machine_sig="machine-a",
+        objective="computer_time",
+    )
+    base.update(overrides)
+    return StoreContext(**base)
+
+
+def make_rows(n, seed=0, offset=0):
+    return [
+        {
+            "config": (i + offset, 2 * (i + offset)),
+            "value": float(i + offset),
+            "execution_seconds": 10.0 * (i + offset),
+            "computer_core_hours": float(i + offset),
+            "seed": seed,
+        }
+        for i in range(n)
+    ]
+
+
+class TestSignatures:
+    def test_signature_is_deterministic_and_content_sensitive(self):
+        assert signature("a", 1) == signature("a", 1)
+        assert signature("a", 1) != signature("a", 2)
+        assert signature("a", 1) != signature("a", "1")
+
+    def test_space_and_machine_signatures(self, lv, hs):
+        assert space_signature(lv.space) == space_signature(lv.space)
+        assert space_signature(lv.space) != space_signature(hs.space)
+        assert machine_signature(lv.machine) == machine_signature(hs.machine)
+        assert encoding_signature(lv.encoder()) == encoding_signature(
+            lv.encoder()
+        )
+
+    def test_context_key_hash_covers_every_field(self):
+        base = make_context()
+        for field, other in [
+            ("kind", "component"),
+            ("workflow", "HS"),
+            ("label", "lammps"),
+            ("space_sig", "space-b"),
+            ("machine_sig", "machine-b"),
+            ("objective", "execution_time"),
+            ("encoding_sig", "enc-b"),
+        ]:
+            assert make_context(**{field: other}).key_hash != base.key_hash
+
+
+class TestRecordAndQuery:
+    def test_round_trip(self, store):
+        context = make_context()
+        assert store.record(context, make_rows(3)) == 3
+        out = store.query(space_sig="space-a")
+        assert len(out) == 3
+        assert out.configs == ((0, 0), (1, 2), (2, 4))
+        assert list(out.values()) == [0.0, 1.0, 2.0]
+        assert list(out.values("execution_time")) == [0.0, 10.0, 20.0]
+        record = out.records[0]
+        assert record.workflow == "LV"
+        assert record.objective == "computer_time"
+        assert record.seed == 0
+
+    def test_duplicate_rows_are_ignored(self, store):
+        context = make_context()
+        assert store.record(context, make_rows(3)) == 3
+        assert store.record(context, make_rows(3)) == 0
+        # Same config under a different (seed, repeat) is a new row.
+        assert store.record(context, make_rows(3, seed=1)) == 3
+        assert len(store.query(space_sig="space-a")) == 6
+
+    def test_query_filters(self, store):
+        store.record(make_context(), make_rows(2))
+        store.record(
+            make_context(workflow="HS", space_sig="space-b"), make_rows(2)
+        )
+        store.record(
+            make_context(kind="component", label="lammps"),
+            make_rows(2, offset=10),
+        )
+        assert len(store.query(space_sig="space-a")) == 2
+        assert len(store.query(space_sig="space-b")) == 2
+        assert len(store.query(space_sig="space-a", workflow="HS")) == 0
+        comp = store.query(space_sig="space-a", kind="component")
+        assert len(comp) == 2
+        assert comp.records[0].label == "lammps"
+        # Cross-workflow read: workflow=None matches any workflow.
+        store.record(
+            make_context(kind="component", label="lammps", workflow="HS"),
+            make_rows(2, offset=20),
+        )
+        assert (
+            len(store.query(space_sig="space-a", kind="component", label="lammps"))
+            == 4
+        )
+
+    def test_query_order_is_insertion_order_and_stable(self, store):
+        context = make_context()
+        store.record(context, make_rows(5, offset=5))
+        store.record(context, make_rows(5))
+        first = store.query(space_sig="space-a").configs
+        assert first[:2] == ((5, 10), (6, 12))
+        for _ in range(3):
+            assert store.query(space_sig="space-a").configs == first
+
+    def test_limit(self, store):
+        store.record(make_context(), make_rows(5))
+        assert len(store.query(space_sig="space-a", limit=2)) == 2
+
+    def test_schema_version_mismatch_is_refused(self, tmp_path):
+        path = tmp_path / "old.db"
+        MeasurementStore(path).close()
+        conn = sqlite3.connect(path)
+        with conn:
+            conn.execute(
+                "UPDATE meta SET value='999' WHERE key='schema_version'"
+            )
+        conn.close()
+        with pytest.raises(StoreError, match="schema"):
+            MeasurementStore(path)
+
+
+class TestBinding:
+    def test_record_workflow_and_components(self, store, lv, lv_pool):
+        binding = StoreBinding(store, lv, "computer_time", seed=3)
+        pairs = [
+            (config, lv_pool.lookup(config))
+            for config in lv_pool.configs[:4]
+        ]
+        assert binding.record_workflow(pairs) == 4
+        # Replay of the same batch under the same session dedupes.
+        assert binding.record_workflow(pairs) == 0
+        out = store.query(
+            space_sig=space_signature(lv.space),
+            workflow=lv.name,
+            objective="computer_time",
+        )
+        assert out.configs == tuple(lv_pool.configs[:4])
+        np.testing.assert_allclose(
+            out.values(),
+            [m.objective("computer_time") for _, m in pairs],
+        )
+
+        label = lv.labels[0]
+        n = binding.record_components(
+            label,
+            [(1, 1, 1), (2, 1, 1)],
+            np.array([5.0, 6.0]),
+            np.array([0.5, 0.6]),
+        )
+        assert n == 2
+        comp = store.query(
+            space_sig=space_signature(lv.app(label).space),
+            kind="component",
+            label=label,
+        )
+        assert len(comp) == 2
+        assert comp.records[0].session == binding.session
+
+    def test_distinct_repeats_are_distinct_rows(self, store, lv, lv_pool):
+        pairs = [(lv_pool.configs[0], lv_pool.lookup(lv_pool.configs[0]))]
+        a = StoreBinding(store, lv, "computer_time", seed=3, repeat=0)
+        b = StoreBinding(store, lv, "computer_time", seed=3, repeat=1)
+        assert a.record_workflow(pairs) == 1
+        assert b.record_workflow(pairs) == 1
+
+
+class TestModelRegistry:
+    def test_training_key_sensitivity(self):
+        X = np.arange(6, dtype=np.float64).reshape(3, 2)
+        y = np.array([1.0, 2.0, 3.0])
+        base = training_key("gbt", "lammps", "computer_time", X, y, "p")
+        assert base == training_key("gbt", "lammps", "computer_time", X, y, "p")
+        assert base != training_key("gbt", "voro", "computer_time", X, y, "p")
+        assert base != training_key("gbt", "lammps", "computer_time", X + 1, y, "p")
+        assert base != training_key("gbt", "lammps", "computer_time", X, y + 1, "p")
+        assert base != training_key("gbt", "lammps", "computer_time", X, y, "q")
+
+    def test_fit_or_load(self, store):
+        registry = ModelRegistry(store)
+        calls = []
+
+        def fit():
+            calls.append(1)
+            return {"weights": [1, 2, 3]}
+
+        first = registry.fit_or_load("key-1", fit)
+        second = registry.fit_or_load("key-1", fit)
+        assert first == second == {"weights": [1, 2, 3]}
+        assert len(calls) == 1
+        assert registry.misses == 1 and registry.hits == 1
+
+    def test_unreadable_blob_triggers_refit(self, store):
+        conn = sqlite3.connect(store.path)
+        with conn:
+            conn.execute(
+                "INSERT INTO models(key, kind, payload, created_at)"
+                " VALUES ('bad', 'model', X'00ff00', 'now')"
+            )
+        conn.close()
+        assert store.get_model("bad") is None
+        registry = ModelRegistry(store)
+        assert registry.fit_or_load("bad", lambda: "fresh") == "fresh"
+
+
+class TestMaintenance:
+    def test_metadata_round_trip(self, store):
+        store.set_metadata("cache:pool_a", {"event": "miss", "size": 10})
+        store.set_metadata("cache:pool_a", {"event": "hit", "size": 10})
+        assert store.get_metadata("cache:pool_a") == {
+            "event": "hit",
+            "size": 10,
+        }
+        assert store.get_metadata("missing") is None
+        assert list(store.metadata()) == ["cache:pool_a"]
+
+    def test_stats(self, store):
+        store.record(make_context(), make_rows(3))
+        store.record(
+            make_context(kind="component", label="lammps"), make_rows(2)
+        )
+        stats = store.stats()
+        assert stats["workflow_measurements"] == 3
+        assert stats["component_measurements"] == 2
+        assert stats["contexts"] == 2
+        assert len(stats["by_context"]) == 2
+
+    def test_gc_keeps_newest_sessions(self, store):
+        context = make_context()
+        store.record(
+            context, [dict(r, session="old") for r in make_rows(3)]
+        )
+        store.record(
+            context,
+            [dict(r, session="new") for r in make_rows(3, offset=10)],
+        )
+        deleted = store.gc(keep_sessions=1)
+        assert deleted["measurements"] == 3
+        left = store.query(space_sig="space-a")
+        assert {r.session for r in left} == {"new"}
+
+    def test_gc_drops_orphan_contexts_and_models(self, store):
+        store.record(make_context(), make_rows(2))
+        store.put_model("k", {"m": 1})
+        deleted = store.gc()
+        assert deleted["models"] == 1
+        assert deleted["contexts"] == 0
+        assert store.get_model("k") is None
+
+    def test_export(self, store):
+        store.record(make_context(), make_rows(2))
+        store.set_metadata("k", {"a": 1})
+        store.put_model("m", [1])
+        dump = store.export()
+        assert len(dump["measurements"]) == 2
+        assert dump["measurements"][0]["config"] == [0, 0]
+        assert len(dump["contexts"]) == 1
+        assert dump["metadata"] == {"k": {"a": 1}}
+        assert dump["models"] == 1
+        assert dump["meta"]["schema_version"] == str(1)
+
+
+class TestTelemetrySpans:
+    def test_write_and_query_spans_carry_row_counts(self, tmp_path):
+        hub = telemetry.Telemetry()
+        with telemetry.use(hub):
+            store = MeasurementStore(tmp_path / "tel.db")
+            store.record(make_context(), make_rows(3))
+            store.query(space_sig="space-a")
+            store.close()
+        spans = {s.name: s for s in hub.spans}
+        assert "store.open" in spans
+        write = spans["store.write"]
+        assert write.attributes["rows"] == 3
+        assert write.attributes["inserted"] == 3
+        assert spans["store.query"].attributes["rows"] == 3
+
+
+# -- concurrent-writer stress -------------------------------------------------
+
+N_WRITERS = 6
+ROWS_PER_WRITER = 25
+
+
+def _writer(path, worker: int) -> int:
+    """One forked writer: interleave many single-row batches."""
+    store = MeasurementStore(path, busy_timeout=10.0, retries=10)
+    context = make_context()
+    written = 0
+    for i in range(ROWS_PER_WRITER):
+        written += store.record(
+            context,
+            [
+                {
+                    "config": (worker, i),
+                    "value": float(worker * 1000 + i),
+                    "execution_seconds": 1.0,
+                    "computer_core_hours": 0.1,
+                    "seed": worker,
+                    "session": f"worker-{worker}",
+                }
+            ],
+        )
+    store.close()
+    return written
+
+
+@pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="needs the fork start method",
+)
+class TestConcurrentWriters:
+    def test_no_lost_rows_under_forked_writers(self, tmp_path):
+        path = str(tmp_path / "stress.db")
+        MeasurementStore(path).close()  # create the schema up front
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(processes=N_WRITERS) as pool:
+            written = pool.starmap(
+                _writer, [(path, w) for w in range(N_WRITERS)]
+            )
+        # Every writer inserted all its rows; none raised StoreError or
+        # surfaced "database is locked".
+        assert written == [ROWS_PER_WRITER] * N_WRITERS
+        store = MeasurementStore(path)
+        out = store.query(space_sig="space-a")
+        assert len(out) == N_WRITERS * ROWS_PER_WRITER
+        assert len(set(out.configs)) == N_WRITERS * ROWS_PER_WRITER
+        # Read-back order is the insertion order — stable across reads.
+        assert out.configs == store.query(space_sig="space-a").configs
+        store.close()
+
+    def test_inherited_store_reopens_in_child(self, tmp_path):
+        store = MeasurementStore(tmp_path / "fork.db")
+        store.record(make_context(), make_rows(1))
+        parent_conn = store._conn()
+        ctx = multiprocessing.get_context("fork")
+        queue = ctx.SimpleQueue()
+
+        def child():
+            # The child inherits the store object but must not share the
+            # parent's sqlite connection: _conn() reopens per pid.
+            store.record(make_context(), make_rows(1, seed=os.getpid()))
+            queue.put(len(store.query(space_sig="space-a")))
+
+        proc = ctx.Process(target=child)
+        proc.start()
+        seen = queue.get()
+        proc.join()
+        assert proc.exitcode == 0
+        assert seen == 2
+        assert store._conn() is parent_conn  # parent connection untouched
+        assert len(store.query(space_sig="space-a")) == 2
+        store.close()

@@ -1,0 +1,207 @@
+"""Warm-starting sessions from a populated measurement store.
+
+The contract under test (DESIGN §10): ``--warm-start components`` lets
+CEAL/ALpH seed their component models from stored solo runs — including
+runs recorded under a *different* workflow — dropping the paid
+component batches to zero; ``--warm-start full`` additionally adopts
+matching stored workflow measurements as free samples.  With an empty
+store both modes are bit-identical to a cold run, and with a fixed
+store state warm-started runs are deterministic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import shutil
+import sqlite3
+
+import pytest
+
+from repro.core.algorithms import Alph
+from repro.core.ceal import Ceal, CealSettings
+from repro.core.objectives import EXECUTION_TIME
+from repro.core.problem import TuningProblem
+from repro.store import MIN_WARM_SAMPLES, MeasurementStore
+
+BUDGET = 20  # paid CEAL at m=20 resolves m_r=10 >= MIN_WARM_SAMPLES
+
+
+def run(lv, lv_pool, lv_histories, algo=None, budget=BUDGET, **kwargs):
+    problem = TuningProblem.create(
+        workflow=lv,
+        objective=EXECUTION_TIME,
+        pool=lv_pool,
+        budget_runs=budget,
+        seed=3,
+        histories=lv_histories,
+        **kwargs,
+    )
+    algo = algo or Ceal(CealSettings(use_history=False))
+    return algo.tune(problem)
+
+
+def comparable(result):
+    return {
+        "measured": list(result.measured.items()),
+        "runs_used": result.runs_used,
+        "events": [e.as_dict(include_timing=False) for e in result.trace],
+    }
+
+
+def setup_detail(result) -> dict:
+    assert result.trace[0].kind == "setup"
+    return dict(result.trace[0].detail)
+
+
+class TestEmptyStoreIsInert:
+    @pytest.mark.parametrize("mode", ["off", "components", "full"])
+    def test_ceal_matches_cold_run(
+        self, lv, lv_pool, lv_histories, tmp_path, mode
+    ):
+        cold = run(lv, lv_pool, lv_histories)
+        warm = run(
+            lv, lv_pool, lv_histories,
+            store=tmp_path / "empty.db", warm_start=mode,
+        )
+        assert comparable(warm) == comparable(cold)
+        assert warm.best_config(lv_pool) == cold.best_config(lv_pool)
+
+    def test_invalid_mode_is_rejected(self, lv, lv_pool, lv_histories):
+        with pytest.raises(ValueError, match="warm_start"):
+            run(lv, lv_pool, lv_histories, warm_start="sideways")
+
+
+class TestComponentWarmStart:
+    def test_second_session_pays_no_component_batches(
+        self, lv, lv_pool, lv_histories, tmp_path
+    ):
+        path = tmp_path / "store.db"
+        cold = run(lv, lv_pool, lv_histories, store=path)
+        assert setup_detail(cold)["m_r"] == 10
+        store = MeasurementStore(path)
+        solo_before = store.stats()["component_measurements"]
+        assert solo_before >= MIN_WARM_SAMPLES * 2  # both components
+
+        warm = run(
+            lv, lv_pool, lv_histories, store=path, warm_start="components"
+        )
+        detail = setup_detail(warm)
+        assert detail["m_r"] == 0
+        assert detail["warm_components"] == solo_before
+        # No new solo runs were charged or recorded.
+        assert store.stats()["component_measurements"] == solo_before
+        # The freed component budget went into workflow runs.
+        assert len(warm.measured) > len(cold.measured)
+        store.close()
+
+    def test_warm_run_is_deterministic(
+        self, lv, lv_pool, lv_histories, tmp_path
+    ):
+        path = tmp_path / "store.db"
+        run(lv, lv_pool, lv_histories, store=path)
+        first = run(
+            lv, lv_pool, lv_histories, store=path, warm_start="components"
+        )
+        second = run(
+            lv, lv_pool, lv_histories, store=path, warm_start="components"
+        )
+        assert comparable(first) == comparable(second)
+        assert first.best_config(lv_pool) == second.best_config(lv_pool)
+
+    def test_cross_workflow_reuse(
+        self, lv, lv_pool, lv_histories, tmp_path
+    ):
+        # Solo runs recorded while tuning one workflow warm-start the
+        # same components inside a *differently named* workflow: the
+        # component match deliberately ignores the workflow name.
+        path = tmp_path / "store.db"
+        run(lv, lv_pool, lv_histories, store=path)
+        other = dataclasses.replace(lv, name="LV-prime")
+        warm = run(
+            other, lv_pool, lv_histories, store=path, warm_start="components"
+        )
+        detail = setup_detail(warm)
+        assert detail["m_r"] == 0
+        assert detail["warm_components"] == 20
+
+    def test_too_few_stored_samples_fall_back_to_paid(
+        self, lv, lv_pool, lv_histories, tmp_path
+    ):
+        # Budget 12 resolves m_r=2 < MIN_WARM_SAMPLES: the stored corpus
+        # is too thin, so the next session pays as if cold.
+        path = tmp_path / "thin.db"
+        thin = run(lv, lv_pool, lv_histories, store=path, budget=12)
+        assert setup_detail(thin)["m_r"] == 2
+        warm = run(
+            lv, lv_pool, lv_histories, store=path, warm_start="components"
+        )
+        detail = setup_detail(warm)
+        assert detail["m_r"] == 10
+        assert "warm_components" not in detail
+
+    def test_alph_warm_start(self, lv, lv_pool, lv_histories, tmp_path):
+        path = tmp_path / "store.db"
+        algo = lambda: Alph(use_history=False, iterations=2)
+        cold = run(lv, lv_pool, lv_histories, algo=algo(), store=path)
+        assert setup_detail(cold)["component_batches"] == 10
+        warm = run(
+            lv, lv_pool, lv_histories, algo=algo(),
+            store=path, warm_start="components",
+        )
+        detail = setup_detail(warm)
+        assert "component_batches" not in detail
+        assert detail["warm_components"] == 20
+        assert len(warm.measured) > len(cold.measured)
+
+
+class TestFullWarmStart:
+    def test_adopts_stored_workflow_measurements(
+        self, lv, lv_pool, lv_histories, tmp_path
+    ):
+        path = tmp_path / "store.db"
+        cold = run(lv, lv_pool, lv_histories, store=path)
+        warm = run(lv, lv_pool, lv_histories, store=path, warm_start="full")
+        detail = setup_detail(warm)
+        assert detail["warm_adopted"] == len(cold.measured)
+        # Adopted samples are free: full budget still spent on fresh
+        # runs, and the model sees strictly more data than a cold run.
+        assert warm.runs_used == BUDGET
+        assert len(warm.measured) > len(cold.measured)
+        # Adopted configurations are never re-measured (the collector
+        # would raise on a duplicate measure).
+        assert set(cold.measured) <= set(warm.measured)
+
+    def test_full_run_is_deterministic_given_store_state(
+        self, lv, lv_pool, lv_histories, tmp_path
+    ):
+        path = tmp_path / "store.db"
+        run(lv, lv_pool, lv_histories, store=path)
+        # Freeze the store state: the first full run appends its own
+        # measurements, so the repeat must start from a copy.  WAL
+        # content lives in a sidecar file, so checkpoint before copying.
+        frozen = tmp_path / "frozen.db"
+        conn = sqlite3.connect(path)
+        conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+        conn.close()
+        shutil.copyfile(path, frozen)
+        first = run(lv, lv_pool, lv_histories, store=path, warm_start="full")
+        second = run(
+            lv, lv_pool, lv_histories, store=frozen, warm_start="full"
+        )
+        assert comparable(first) == comparable(second)
+
+    def test_adoption_benefits_any_strategy(
+        self, lv, lv_pool, lv_histories, tmp_path
+    ):
+        # Adoption happens in the driver, so a strategy with no
+        # warm-start code of its own (plain ALpH with free histories)
+        # still receives the free samples.
+        path = tmp_path / "store.db"
+        algo = lambda: Alph(use_history=True, iterations=2)
+        cold = run(lv, lv_pool, lv_histories, algo=algo(), store=path)
+        warm = run(
+            lv, lv_pool, lv_histories, algo=algo(),
+            store=path, warm_start="full",
+        )
+        assert setup_detail(warm)["warm_adopted"] == len(cold.measured)
+        assert len(warm.measured) > len(cold.measured)
