@@ -13,7 +13,7 @@ Workflow definitions register :class:`DerivedFeature` callables; the
 from __future__ import annotations
 
 from collections.abc import Callable, Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -47,10 +47,30 @@ class ConfigEncoder:
 
     The encoding is the concatenation of all raw parameter values (in space
     order) with any registered derived features.
+
+    Configurations are hashable tuples and the encoding of one is
+    immutable, so each instance memoises per-configuration rows:
+    auto-tuning re-encodes the same candidate pool every iteration, and
+    the derived-feature Python calls dominate encoding cost.  The memo
+    is excluded from equality and pickling (a restored encoder starts
+    cold and re-derives identical rows).
     """
 
     space: ParameterSpace
     derived: tuple[DerivedFeature, ...] = ()
+    _memo: dict = field(
+        init=False, repr=False, compare=False, default_factory=dict
+    )
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["_memo"] = {}
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        if "_memo" not in state:  # blobs pickled before the memo existed
+            state["_memo"] = {}
+        self.__dict__.update(state)
 
     def feature_names(self) -> tuple[str, ...]:
         """Column names of the encoded matrix."""
@@ -71,10 +91,23 @@ class ConfigEncoder:
         return np.concatenate([raw, extra])
 
     def encode(self, configs: Sequence[Configuration]) -> np.ndarray:
-        """Encode configurations into an ``(n, n_features)`` matrix."""
+        """Encode configurations into an ``(n, n_features)`` matrix.
+
+        Rows are served from the per-instance memo when available;
+        ``vstack`` copies, so callers can never mutate memoised rows
+        through the returned matrix.
+        """
         if len(configs) == 0:
             return np.empty((0, self.n_features))
-        return np.vstack([self.encode_one(c) for c in configs])
+        memo = self._memo
+        rows = []
+        for c in configs:
+            row = memo.get(c)
+            if row is None:
+                row = self.encode_one(c)
+                memo[c] = row
+            rows.append(row)
+        return np.vstack(rows)
 
     def with_derived(self, *features: DerivedFeature) -> "ConfigEncoder":
         """Return a new encoder with extra derived features appended."""

@@ -126,8 +126,7 @@ class AlphStrategy(SearchStrategy):
         measured = session.collector.measured
         session.timed_fit(self._model, list(measured), list(measured.values()))
         candidates = tracker.remaining
-        scores = self._model.predict(candidates)
-        batch = tracker.take_top(scores, candidates, self._plan[index])
+        batch = session.rank_candidates(self._model, candidates, self._plan[index])
         tracker.mark(batch)
         return batch
 

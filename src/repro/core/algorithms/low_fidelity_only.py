@@ -62,9 +62,7 @@ class LowFidelityOnlyStrategy(SearchStrategy):
         self._asked = True
         tracker = session.tracker
         candidates = tracker.remaining
-        top = tracker.take_top(
-            self._model.predict(candidates), candidates, self._m_workflow
-        )
+        top = session.rank_candidates(self._model, candidates, self._m_workflow)
         tracker.mark(top)
         return top
 

@@ -165,9 +165,8 @@ class CealStrategy(SearchStrategy):
         to_measure = problem.sample_unmeasured(tracker.remaining, self.m0_used)
         tracker.mark(to_measure)
         candidates = tracker.remaining
-        low_scores = self.low_fidelity.predict(candidates)
-        top = tracker.take_top(
-            low_scores,
+        top = session.rank_candidates(
+            self.low_fidelity,
             candidates,
             min(self.m_b, collector.runs_remaining - len(to_measure)),
         )
@@ -223,9 +222,8 @@ class CealStrategy(SearchStrategy):
             candidates = tracker.remaining
             if residual > 0 and candidates:
                 model = self._selected_model()
-                scores = model.predict(candidates)
-                top = tracker.take_top(
-                    scores, candidates, min(residual, len(candidates))
+                top = session.rank_candidates(
+                    model, candidates, min(residual, len(candidates))
                 )
                 tracker.mark(top)
                 self._cycle_kind = "residual"

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import telemetry
 from repro.config.encoding import ConfigEncoder
 from repro.config.space import Configuration
 from repro.core.collector import ComponentBatchData
@@ -67,6 +68,12 @@ class ComponentModelSet:
     workflow: WorkflowDefinition
     objective: Objective
     models: dict = field(default_factory=dict)
+    #: per-label ``{component_config: predicted_value}`` caches.  Models
+    #: are immutable once trained and every prediction is per-row
+    #: independent (encoding, tree traversal, exp are all elementwise),
+    #: so cached values are bit-identical to a fresh batched predict and
+    #: the cache never needs invalidation.
+    _cache: dict = field(init=False, repr=False, default_factory=dict)
 
     @classmethod
     def train(
@@ -146,13 +153,36 @@ class ComponentModelSet:
 
         Returns an ``(n_components, n_configs)`` matrix ordered like
         ``workflow.labels``.
+
+        Sub-configuration predictions are cached per component — every
+        AL iteration rescores the same immutable candidate pool, and
+        many joint configurations collapse to the same component
+        sub-configuration — so steady-state scoring is dictionary
+        lookups.  Cache hits/misses are counted on the ``pool_cache.*``
+        telemetry counters.
         """
         if len(configs) == 0:
             return np.empty((len(self.workflow.labels), 0))
+        tel = telemetry.get()
+        hits = misses = 0
         rows = []
         for label in self.workflow.labels:
+            cache = self._cache.setdefault(label, {})
             comp_configs = [
                 self.workflow.component_config(label, c) for c in configs
             ]
-            rows.append(self.models[label].predict(comp_configs))
+            missing = [
+                cc for cc in dict.fromkeys(comp_configs) if cc not in cache
+            ]
+            if missing:
+                preds = self.models[label].predict(missing)
+                for cc, p in zip(missing, preds):
+                    cache[cc] = float(p)
+            misses += len(missing)
+            hits += len(comp_configs) - len(missing)
+            rows.append(
+                np.array([cache[cc] for cc in comp_configs], dtype=np.float64)
+            )
+        tel.counter("pool_cache.hits").inc(hits)
+        tel.counter("pool_cache.misses").inc(misses)
         return np.vstack(rows)

@@ -278,6 +278,21 @@ class TuningSession:
         self.annotate(batch_plan=tuple(plan))
         return plan
 
+    def rank_candidates(self, model, candidates, n: int):
+        """The ``n`` predicted-best candidates under ``model``.
+
+        The standard exploit move (score the remaining pool, keep the
+        top of the ranking), instrumented as a ``driver.rank`` span.
+        Scoring goes through the model's ``predict``, so the per-config
+        pool caches (component models, surrogates) and the packed
+        ensemble kernels do the heavy lifting.
+        """
+        with telemetry.get().span(
+            "driver.rank", category="predict", rows=len(candidates), take=n
+        ):
+            scores = np.asarray(model.predict(candidates), dtype=np.float64)
+            return self.tracker.take_top(scores, candidates, n)
+
     def timed_fit(self, model, configs, values):
         """Fit ``model`` and charge the wall-clock time to this cycle."""
         started = time.perf_counter()

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import telemetry
 from repro.config.space import Configuration
 from repro.core.component_models import ComponentModelSet
 
@@ -33,9 +34,20 @@ class LowFidelityModel:
     component_models: ComponentModelSet
 
     def predict(self, configs: Sequence[Configuration]) -> np.ndarray:
-        """Low-fidelity scores (objective units, lower = better)."""
-        matrix = self.component_models.predict_components(configs)
-        return self.component_models.objective.combine(matrix)
+        """Low-fidelity scores (objective units, lower = better).
+
+        Component predictions come from
+        :meth:`~repro.core.component_models.ComponentModelSet.predict_components`,
+        whose per-configuration cache makes repeated pool scoring cheap.
+        """
+        with telemetry.get().span(
+            "ml.predict",
+            category="predict",
+            model="low_fidelity",
+            rows=len(configs),
+        ):
+            matrix = self.component_models.predict_components(configs)
+            return self.component_models.objective.combine(matrix)
 
     def rank(self, configs: Sequence[Configuration]) -> np.ndarray:
         """Indices of ``configs`` from best (lowest score) to worst."""

@@ -192,7 +192,14 @@ class AutotuneResult:
 
     def predict_pool(self, pool: MeasuredPool) -> np.ndarray:
         """Model scores over a pool (the test set)."""
-        return np.asarray(self.model.predict(list(pool.configs)), dtype=np.float64)
+        from repro import telemetry
+
+        with telemetry.get().span(
+            "driver.rank", category="predict", rows=len(pool.configs)
+        ):
+            return np.asarray(
+                self.model.predict(list(pool.configs)), dtype=np.float64
+            )
 
     def best_config(self, pool: MeasuredPool) -> Configuration:
         """The searcher's recommendation: predicted-best pool configuration."""

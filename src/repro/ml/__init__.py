@@ -17,9 +17,11 @@ implementations are vectorised with numpy so scoring 2000-configuration
 pools stays fast.
 """
 
+from repro.ml.binning import bin_codes, grow_hist_tree, make_bins
 from repro.ml.boosting import GradientBoostedTrees
 from repro.ml.forest import RandomForestRegressor
 from repro.ml.gaussian_process import GaussianProcessRegressor
+from repro.ml.packed import PackedEnsemble
 from repro.ml.metrics import (
     absolute_percentage_errors,
     mdape,
@@ -34,10 +36,14 @@ __all__ = [
     "GaussianProcessRegressor",
     "GradientBoostedTrees",
     "KNeighborsRegressor",
+    "PackedEnsemble",
     "RandomForestRegressor",
     "RegressionTree",
     "absolute_percentage_errors",
+    "bin_codes",
+    "grow_hist_tree",
     "kfold_indices",
+    "make_bins",
     "mdape",
     "rmse",
     "top_n_overlap",

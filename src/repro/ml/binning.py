@@ -1,0 +1,212 @@
+"""Pre-binned (histogram) tree growth — the opt-in ``method="hist"`` builder.
+
+Large warm-started training sets make exact greedy growth pay an
+``O(n log n)`` sort per node.  The histogram builder instead quantizes
+each feature *once per fit* into at most ``max_bins`` ordinal codes
+(:func:`make_bins` / :func:`bin_codes`); every node then scores splits
+from per-bin gradient/hessian histograms built with one ``bincount``
+over the node's rows — no per-node sorting at all.
+
+Candidate thresholds are quantile cuts between adjacent observed
+values, so hist trees generally differ from exact trees (that is the
+accuracy/speed trade, exactly as in XGBoost/LightGBM) and are pinned by
+their own fixture (``tests/data/pinned_hist.json``).  Two invariants
+keep the builder consistent with the rest of the stack:
+
+* codes are assigned with ``searchsorted(cuts, x, side="left")`` so
+  ``code(x) <= b  ⟺  x <= cuts[b]`` *exactly*, even when a cut equals
+  an observed value — training partitions and
+  :meth:`~repro.ml.tree.RegressionTree.predict` / packed traversal
+  (both of which compare raw values against the real-valued stored
+  threshold) can never disagree;
+* the result is a populated :class:`~repro.ml.tree.RegressionTree`, so
+  prediction, packing, depth, and registry round-trips work unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.tree import RegressionTree
+
+__all__ = ["make_bins", "bin_codes", "grow_hist_tree"]
+
+_NO_CHILD = -1
+
+
+def make_bins(X: np.ndarray, max_bins: int) -> list[np.ndarray]:
+    """Per-feature candidate cut values (sorted, strictly increasing).
+
+    Cuts are midpoints between adjacent *unique* values.  When a feature
+    has more than ``max_bins`` distinct values, ``max_bins - 1`` cuts are
+    kept at evenly spaced sample-mass quantiles (computed from the value
+    counts), so dense regions of the feature keep fine resolution.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-D, got shape {X.shape}")
+    if max_bins < 2:
+        raise ValueError("max_bins must be >= 2")
+    n = X.shape[0]
+    cuts: list[np.ndarray] = []
+    for j in range(X.shape[1]):
+        u, counts = np.unique(X[:, j], return_counts=True)
+        if u.size <= 1:
+            cuts.append(np.empty(0, dtype=np.float64))
+            continue
+        mids = 0.5 * (u[:-1] + u[1:])
+        if mids.size > max_bins - 1:
+            cdf = np.cumsum(counts[:-1]) / n  # mass at or below each cut
+            targets = np.linspace(0.0, 1.0, max_bins + 1)[1:-1]
+            pos = np.unique(np.searchsorted(cdf, targets).clip(0, mids.size - 1))
+            mids = mids[pos]
+        cuts.append(mids)
+    return cuts
+
+
+def bin_codes(X: np.ndarray, cuts: list[np.ndarray]) -> np.ndarray:
+    """Ordinal bin code per value: ``code = #{cuts < x}``.
+
+    ``side="left"`` makes ``code(x) <= b`` equivalent to ``x <= cuts[b]``
+    for every ``x`` (including ``x == cuts[b]``), which is the exact
+    predicate tree prediction applies to the stored threshold.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    codes = np.empty(X.shape, dtype=np.int64)
+    for j, c in enumerate(cuts):
+        codes[:, j] = np.searchsorted(c, X[:, j], side="left")
+    return codes
+
+
+def grow_hist_tree(
+    codes: np.ndarray,
+    cuts: list[np.ndarray],
+    g: np.ndarray,
+    h: np.ndarray,
+    *,
+    max_depth: int,
+    min_samples_leaf: int,
+    min_child_weight: float,
+    reg_lambda: float,
+    gamma: float,
+) -> RegressionTree:
+    """Grow one tree from pre-binned codes; return a populated tree.
+
+    Mirrors :meth:`RegressionTree.fit_gradients` node-for-node (same
+    leaf weights, same gain formula, same first-maximum tie-breaks) but
+    scores only the binned cuts, via per-node histograms.  Stored
+    thresholds are the real cut values, so the returned tree predicts —
+    and packs — exactly like an exact-grown one.
+    """
+    codes = np.asarray(codes, dtype=np.int64)
+    g = np.asarray(g, dtype=np.float64)
+    h = np.asarray(h, dtype=np.float64)
+    m, d = codes.shape
+    if len(cuts) != d:
+        raise ValueError("cuts must have one entry per feature")
+    n_cuts = np.array([c.size for c in cuts], dtype=np.int64)
+    n_bins = n_cuts + 1  # codes range over [0, n_cuts[j]]
+    offsets = np.concatenate(([0], np.cumsum(n_bins)))
+    total_bins = int(offsets[-1])
+    flat = codes + offsets[:-1]  # global bin id per (row, feature)
+    lam = reg_lambda
+    min_leaf = max(1, min_samples_leaf)
+
+    tree = RegressionTree(
+        max_depth=max_depth,
+        min_samples_leaf=min_samples_leaf,
+        min_child_weight=min_child_weight,
+        reg_lambda=reg_lambda,
+        gamma=gamma,
+    )
+
+    feature: list[int] = []
+    threshold: list[float] = []
+    left: list[int] = []
+    right: list[int] = []
+    value: list[float] = []
+
+    def new_node() -> int:
+        feature.append(_NO_CHILD)
+        threshold.append(np.nan)
+        left.append(_NO_CHILD)
+        right.append(_NO_CHILD)
+        value.append(0.0)
+        return len(feature) - 1
+
+    def best_split(rows: np.ndarray):
+        g_node = g[rows]
+        h_node = h[rows]
+        G = g_node.sum()
+        H = h_node.sum()
+        parent_score = G * G / (H + lam)
+        fb = flat[rows].ravel()
+        g_hist = np.bincount(fb, weights=np.repeat(g_node, d), minlength=total_bins)
+        h_hist = np.bincount(fb, weights=np.repeat(h_node, d), minlength=total_bins)
+        c_hist = np.bincount(fb, minlength=total_bins)
+        best_gain = gamma
+        best = None
+        for j in range(d):
+            if n_cuts[j] == 0:
+                continue
+            lo, hi = offsets[j], offsets[j + 1]
+            GL = np.cumsum(g_hist[lo:hi])[:-1]
+            HL = np.cumsum(h_hist[lo:hi])[:-1]
+            n_left = np.cumsum(c_hist[lo:hi])[:-1]
+            n_right = rows.size - n_left
+            ok = (
+                (n_left >= min_leaf)
+                & (n_right >= min_leaf)
+                & (HL >= min_child_weight)
+                & (H - HL >= min_child_weight)
+            )
+            if not ok.any():
+                continue
+            GR = G - GL
+            HR = H - HL
+            with np.errstate(divide="ignore", invalid="ignore"):
+                gains = 0.5 * (
+                    GL * GL / (HL + lam) + GR * GR / (HR + lam) - parent_score
+                )
+            gains = np.where(ok, gains, -np.inf)
+            b = int(np.argmax(gains))
+            if gains[b] > best_gain:
+                best_gain = gains[b]
+                best = (j, b)
+        if best is None:
+            return None
+        j, b = best
+        mask = codes[rows, j] <= b
+        return (j, float(cuts[j][b]), rows[mask], rows[~mask])
+
+    def leaf_weight(rows: np.ndarray) -> float:
+        G = g[rows].sum()
+        H = h[rows].sum()
+        return -G / (H + lam) if (H + lam) > 0 else 0.0
+
+    def build(rows: np.ndarray, depth: int, node: int) -> None:
+        value[node] = leaf_weight(rows)
+        if depth >= max_depth or rows.size < 2 * min_leaf:
+            return
+        split = best_split(rows)
+        if split is None:
+            return
+        j, thr, left_rows, right_rows = split
+        feature[node] = j
+        threshold[node] = thr
+        left_id = new_node()
+        right_id = new_node()
+        left[node] = left_id
+        right[node] = right_id
+        build(left_rows, depth + 1, left_id)
+        build(right_rows, depth + 1, right_id)
+
+    root = new_node()
+    build(np.arange(m), 0, root)
+
+    tree.feature = np.asarray(feature, dtype=np.int64)
+    tree.threshold = np.asarray(threshold, dtype=np.float64)
+    tree.left = np.asarray(left, dtype=np.int64)
+    tree.right = np.asarray(right, dtype=np.int64)
+    tree.value = np.asarray(value, dtype=np.float64)
+    return tree

@@ -10,6 +10,16 @@ orders of magnitude across a configuration space, so the regressor
 supports an optional ``log_target`` transform — fitting ``log(y)`` and
 exponentiating predictions — which substantially improves relative-error
 metrics such as MdAPE.
+
+Two tree builders are available: the default ``method="exact"``
+(presorted exact greedy growth, bit-identical to the historical
+implementation) and the opt-in ``method="hist"`` (pre-binned histogram
+growth from :mod:`repro.ml.binning`, for large warm-started training
+sets; splits are restricted to at most ``max_bins`` quantile cuts per
+feature, so its trees — pinned by their own fixtures — differ from
+exact trees).  Either way, the fitted ensemble is packed into a
+:class:`~repro.ml.packed.PackedEnsemble` so prediction is one
+vectorized traversal instead of a Python loop over trees.
 """
 
 from __future__ import annotations
@@ -19,6 +29,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro import telemetry
+from repro.ml.packed import PackedEnsemble
 from repro.ml.tree import RegressionTree
 
 __all__ = ["GradientBoostedTrees"]
@@ -45,6 +56,12 @@ class GradientBoostedTrees:
         targets); predictions are transformed back.
     random_state:
         Seed for subsampling.
+    method:
+        Tree builder: ``"exact"`` (default, presorted exact greedy) or
+        ``"hist"`` (pre-binned histogram growth; binning happens once
+        per fit and is reused by every round).
+    max_bins:
+        Maximum histogram bins per feature (``method="hist"`` only).
     """
 
     n_estimators: int = 120
@@ -58,11 +75,14 @@ class GradientBoostedTrees:
     colsample: float = 1.0
     log_target: bool = False
     random_state: int | None = None
+    method: str = "exact"
+    max_bins: int = 64
 
     _trees: list = field(init=False, repr=False, default_factory=list)
     _tree_columns: list = field(init=False, repr=False, default_factory=list)
     _base_score: float = field(init=False, repr=False, default=0.0)
     _n_features: int = field(init=False, repr=False, default=0)
+    _packed: PackedEnsemble | None = field(init=False, repr=False, default=None)
 
     def __post_init__(self) -> None:
         if self.n_estimators < 1:
@@ -73,10 +93,15 @@ class GradientBoostedTrees:
             raise ValueError("subsample must be in (0, 1]")
         if not 0 < self.colsample <= 1:
             raise ValueError("colsample must be in (0, 1]")
+        if self.method not in ("exact", "hist"):
+            raise ValueError(f"method must be 'exact' or 'hist', got {self.method!r}")
+        if self.max_bins < 2:
+            raise ValueError("max_bins must be >= 2")
 
     @property
     def is_fitted(self) -> bool:
-        return bool(self._trees) or self._n_features > 0
+        """Whether :meth:`predict` is ready — keyed, like it, on ``_trees``."""
+        return bool(self._trees)
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "GradientBoostedTrees":
         """Fit the ensemble to ``(X, y)``."""
@@ -101,8 +126,15 @@ class GradientBoostedTrees:
             category="fit",
             samples=n,
             rounds=self.n_estimators,
+            method=self.method,
         ):
             self._fit_rounds(X, target, n, d)
+            self._packed = PackedEnsemble.pack(
+                self._trees,
+                n_features=d,
+                columns=self._tree_columns,
+                scale=self.learning_rate,
+            )
         return self
 
     def _fit_rounds(self, X: np.ndarray, target: np.ndarray, n: int, d: int):
@@ -115,6 +147,18 @@ class GradientBoostedTrees:
 
         n_rows = max(1, int(round(self.subsample * n)))
         n_cols = max(1, int(round(self.colsample * d)))
+
+        if self.method == "hist":
+            from repro.ml.binning import bin_codes, make_bins
+
+            cuts = make_bins(X, self.max_bins)
+            codes = bin_codes(X, cuts)
+        else:
+            from repro.ml.tree import _feature_group_ids
+
+            # Presort once per fit; every round's tree sorts integer
+            # rank slices instead of re-ranking float columns.
+            gid = _feature_group_ids(X)
 
         for _ in range(self.n_estimators):
             grad = pred - target  # d/dpred ½(pred − t)²
@@ -129,18 +173,62 @@ class GradientBoostedTrees:
                 if n_cols < d
                 else np.arange(d)
             )
-            tree = RegressionTree(
-                max_depth=self.max_depth,
-                min_samples_leaf=self.min_samples_leaf,
-                min_child_weight=self.min_child_weight,
-                reg_lambda=self.reg_lambda,
-                gamma=self.gamma,
-            )
-            tree.fit_gradients(X[np.ix_(rows, cols)], grad[rows], hess[rows])
-            update = tree.predict(X[:, cols])
+            if self.method == "hist":
+                from repro.ml.binning import grow_hist_tree
+
+                tree = grow_hist_tree(
+                    codes[np.ix_(rows, cols)],
+                    [cuts[c] for c in cols],
+                    grad[rows],
+                    hess[rows],
+                    max_depth=self.max_depth,
+                    min_samples_leaf=self.min_samples_leaf,
+                    min_child_weight=self.min_child_weight,
+                    reg_lambda=self.reg_lambda,
+                    gamma=self.gamma,
+                )
+            else:
+                tree = RegressionTree(
+                    max_depth=self.max_depth,
+                    min_samples_leaf=self.min_samples_leaf,
+                    min_child_weight=self.min_child_weight,
+                    reg_lambda=self.reg_lambda,
+                    gamma=self.gamma,
+                )
+                if n_rows == n and n_cols == d:
+                    # No subsampling: the np.ix_ slices would be exact
+                    # copies, so skip them (identical floats either way).
+                    tree.fit_gradients(X, grad, hess, group_ids=gid)
+                else:
+                    tree.fit_gradients(
+                        X[np.ix_(rows, cols)],
+                        grad[rows],
+                        hess[rows],
+                        group_ids=gid[np.ix_(rows, cols)],
+                    )
+            update = tree.predict(X if n_cols == d else X[:, cols])
             pred = pred + self.learning_rate * update
             self._trees.append(tree)
             self._tree_columns.append(cols)
+
+    def _ensure_packed(self) -> PackedEnsemble:
+        """The packed form, rebuilt on demand.
+
+        Models unpickled from blobs written before packing existed (or
+        with ``_packed`` stripped) repack here from their trees; packing
+        is a pure layout change, so the rebuilt ensemble predicts
+        bit-identically to one packed at fit time.
+        """
+        packed = getattr(self, "_packed", None)
+        if packed is None:
+            packed = PackedEnsemble.pack(
+                self._trees,
+                n_features=self._n_features,
+                columns=self._tree_columns,
+                scale=self.learning_rate,
+            )
+            self._packed = packed
+        return packed
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         """Predict targets for each row of ``X``."""
@@ -154,12 +242,24 @@ class GradientBoostedTrees:
                 f"X has {X.shape[1]} features, model was fitted with "
                 f"{self._n_features}"
             )
-        pred = np.full(X.shape[0], self._base_score)
-        for tree, cols in zip(self._trees, self._tree_columns):
-            pred = pred + self.learning_rate * tree.predict(X[:, cols])
-        if self.log_target:
-            return np.exp(pred)
-        return pred
+        tel = telemetry.get()
+        with tel.span(
+            "ml.predict",
+            category="predict",
+            model="boosting",
+            rows=X.shape[0],
+            trees=len(self._trees),
+        ):
+            pred = self._ensure_packed().predict(X, base_score=self._base_score)
+            if self.log_target:
+                return np.exp(pred)
+            return pred
+
+    def leaf_indices(self, X: np.ndarray) -> np.ndarray:
+        """Packed leaf assignment per ``(row, tree)`` (for caching layers)."""
+        if not self._trees:
+            raise RuntimeError("model is not fitted; call fit() first")
+        return self._ensure_packed().leaf_indices(np.asarray(X, dtype=np.float64))
 
     def clone(self) -> "GradientBoostedTrees":
         """Return an unfitted copy with identical hyper-parameters."""
@@ -175,4 +275,6 @@ class GradientBoostedTrees:
             colsample=self.colsample,
             log_target=self.log_target,
             random_state=self.random_state,
+            method=self.method,
+            max_bins=self.max_bins,
         )

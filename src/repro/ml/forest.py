@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro import telemetry
+from repro.ml.packed import PackedEnsemble
 from repro.ml.tree import RegressionTree
 
 __all__ = ["RandomForestRegressor"]
@@ -45,6 +46,7 @@ class RandomForestRegressor:
 
     _trees: list = field(init=False, repr=False, default_factory=list)
     _n_features: int = field(init=False, repr=False, default=0)
+    _packed: PackedEnsemble | None = field(init=False, repr=False, default=None)
 
     def __post_init__(self) -> None:
         if self.n_estimators < 1:
@@ -84,7 +86,16 @@ class RandomForestRegressor:
                 )
                 tree.fit(X[rows], y[rows])
                 self._trees.append(tree)
+            self._packed = PackedEnsemble.pack(self._trees, n_features=d)
         return self
+
+    def _ensure_packed(self) -> PackedEnsemble:
+        """The packed form, rebuilt on demand (e.g. after unpickling old blobs)."""
+        packed = getattr(self, "_packed", None)
+        if packed is None:
+            packed = PackedEnsemble.pack(self._trees, n_features=self._n_features)
+            self._packed = packed
+        return packed
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         """Predict the per-tree mean for each row of ``X``."""
@@ -96,7 +107,14 @@ class RandomForestRegressor:
                 f"X has {X.shape[1]} features, model was fitted with "
                 f"{self._n_features}"
             )
-        total = np.zeros(X.shape[0])
-        for tree in self._trees:
-            total += tree.predict(X)
-        return total / len(self._trees)
+        with telemetry.get().span(
+            "ml.predict",
+            category="predict",
+            model="forest",
+            rows=X.shape[0],
+            trees=len(self._trees),
+        ):
+            # Unscaled leaf values summed in tree order then divided once —
+            # the same float operations as the historical per-tree loop.
+            total = self._ensure_packed().predict(X)
+            return total / len(self._trees)

@@ -11,8 +11,18 @@ Plain least-squares fitting (for random forests and standalone trees) is
 the special case ``g = -y``, ``h = 1``, ``λ = 0`` whose leaf weight is the
 mean of ``y``.
 
-Split search is vectorised: per feature the node's rows are sorted once
-and all candidate thresholds are scored with prefix sums.
+Split search is the presorted exact algorithm: each feature is ranked
+*once per fit* into integer group ids (ties share an id, ids are
+monotone in the feature value), and every node re-derives all features'
+sorted orders with one multi-column stable integer sort, scoring every
+candidate threshold of every feature with a single prefix-sum scan.
+The integer re-sort — rather than partitioning presorted arrays down
+the tree — is what keeps the output bit-identical to the historical
+per-node-per-feature float argsort (:mod:`repro.ml._reference`): a
+stable partition would order ties by the *parent's* sort, while the
+original orders them by the node's own row order, and the prefix sums
+feeding the gain comparisons are sensitive to that order at the ulp
+level.
 """
 
 from __future__ import annotations
@@ -24,6 +34,35 @@ import numpy as np
 __all__ = ["RegressionTree"]
 
 _NO_CHILD = -1
+
+
+def _feature_group_ids(X: np.ndarray) -> np.ndarray:
+    """Per-feature integer ranks: equal values share an id, ids sort like X.
+
+    Computed from one stable argsort per feature (the presort).  A
+    node-local stable argsort of a column of the result is bit-identical
+    to a stable argsort of the raw feature values, including NaN
+    placement — each NaN gets its own id in stable (original-index)
+    order, matching how stable float sorts tie-break NaNs.
+
+    Ranks are returned in the smallest unsigned dtype that holds them:
+    numpy's stable sort on ≤16-bit integers is a short radix sort, an
+    order of magnitude faster than on 64-bit keys, and sort order
+    depends only on the integer *values*, so the dtype cannot affect
+    any downstream result.
+    """
+    n, d = X.shape
+    order0 = np.argsort(X, axis=0, kind="stable")
+    xs = np.take_along_axis(X, order0, axis=0)
+    new_group = np.empty((n, d), dtype=np.int64)
+    new_group[0] = 0
+    new_group[1:] = xs[1:] != xs[:-1]
+    dtype = np.uint16 if n <= np.iinfo(np.uint16).max else np.int64
+    gid = np.empty((n, d), dtype=dtype)
+    np.put_along_axis(
+        gid, order0, np.cumsum(new_group, axis=0).astype(dtype), axis=0
+    )
+    return gid
 
 
 @dataclass
@@ -75,11 +114,18 @@ class RegressionTree:
 
     # -- fitting ------------------------------------------------------------------
 
-    def fit(self, X: np.ndarray, y: np.ndarray) -> "RegressionTree":
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        group_ids: np.ndarray | None = None,
+    ) -> "RegressionTree":
         """Fit a plain least-squares tree (leaves predict means of ``y``)."""
         X = np.asarray(X, dtype=np.float64)
         y = np.asarray(y, dtype=np.float64)
-        return self.fit_gradients(X, -y, np.ones_like(y), reg_lambda=0.0)
+        return self.fit_gradients(
+            X, -y, np.ones_like(y), reg_lambda=0.0, group_ids=group_ids
+        )
 
     def fit_gradients(
         self,
@@ -87,8 +133,19 @@ class RegressionTree:
         g: np.ndarray,
         h: np.ndarray,
         reg_lambda: float | None = None,
+        group_ids: np.ndarray | None = None,
     ) -> "RegressionTree":
-        """Fit to gradient/hessian vectors of a boosting objective."""
+        """Fit to gradient/hessian vectors of a boosting objective.
+
+        ``group_ids`` optionally supplies the per-feature integer ranks
+        (:func:`_feature_group_ids`) so a caller fitting many trees on
+        row/column subsets of one matrix can presort *once* and pass
+        slices.  Any integer matrix whose columns have the same stable
+        sort order and the same equality pattern as the corresponding
+        columns of ``X`` is valid — in particular a row/column slice of
+        the full matrix's ranks, un-renumbered, since relabelling ranks
+        monotonically changes neither property.
+        """
         X = np.asarray(X, dtype=np.float64)
         g = np.asarray(g, dtype=np.float64)
         h = np.asarray(h, dtype=np.float64)
@@ -100,6 +157,19 @@ class RegressionTree:
         if n == 0:
             raise ValueError("cannot fit a tree on zero samples")
         lam = self.reg_lambda if reg_lambda is None else reg_lambda
+        if group_ids is None:
+            gid = _feature_group_ids(X)
+        else:
+            gid = np.ascontiguousarray(group_ids)
+            if gid.shape != X.shape:
+                raise ValueError(
+                    f"group_ids shape {gid.shape} does not match X {X.shape}"
+                )
+        # Squared-error boosting always passes h ≡ 1, making every
+        # hessian prefix sum the exact integer sequence 1..m (float64
+        # cumsums of ones are exact for any feasible m), so the split
+        # search can synthesize them instead of gathering and summing.
+        unit_h = bool(np.all(h == 1.0))
 
         feature: list[int] = []
         threshold: list[float] = []
@@ -122,14 +192,14 @@ class RegressionTree:
 
         def leaf_weight(rows: np.ndarray) -> float:
             G = g[rows].sum()
-            H = h[rows].sum()
+            H = float(rows.size) if unit_h else h[rows].sum()
             return -G / (H + lam) if (H + lam) > 0 else 0.0
 
         def build(rows: np.ndarray, depth: int, node: int) -> None:
             value[node] = leaf_weight(rows)
             if depth >= self.max_depth or rows.size < 2 * self.min_samples_leaf:
                 return
-            split = self._best_split(X, g, h, rows, lam, rng)
+            split = self._best_split(X, gid, g, h, rows, lam, rng, unit_h)
             if split is None:
                 return
             j, thr, left_rows, right_rows = split
@@ -143,7 +213,10 @@ class RegressionTree:
             build(right_rows, depth + 1, right_id)
 
         root = new_node()
-        build(np.arange(n), 0, root)
+        # One errstate switch for the whole fit: _best_split divides by
+        # zero-hessian masses on masked-out candidates at every node.
+        with np.errstate(divide="ignore", invalid="ignore"):
+            build(np.arange(n), 0, root)
 
         self.feature = np.asarray(feature, dtype=np.int64)
         self.threshold = np.asarray(threshold, dtype=np.float64)
@@ -155,61 +228,87 @@ class RegressionTree:
     def _best_split(
         self,
         X: np.ndarray,
+        gid: np.ndarray,
         g: np.ndarray,
         h: np.ndarray,
         rows: np.ndarray,
         lam: float,
         rng: np.random.Generator | None,
+        unit_h: bool = False,
     ):
-        """Return ``(feature, threshold, left_rows, right_rows)`` or None."""
+        """Return ``(feature, threshold, left_rows, right_rows)`` or None.
+
+        Scores all candidate features at once: one stable multi-column
+        sort of the presorted group ids, one prefix-sum scan, one
+        vectorized gain evaluation.  Every intermediate array seen by
+        the sums, the per-feature first-maximum, and the sequential
+        cross-feature comparison is elementwise identical to the
+        historical per-feature loop, so the chosen split (and every
+        tie-break) is bit-identical.  ``unit_h`` short-circuits the
+        hessian prefix sums to the exact sequence ``1..m`` (the value a
+        float64 cumsum of ones produces bit-for-bit).
+        """
         n_features = X.shape[1]
         if self.max_features is not None and self.max_features < n_features:
             candidates = rng.choice(n_features, size=self.max_features, replace=False)
+            sub = gid[np.ix_(rows, candidates)]
         else:
-            candidates = np.arange(n_features)
+            candidates = None
+            sub = gid[rows]
 
-        G = g[rows].sum()
-        H = h[rows].sum()
+        m = rows.size
+        g_node = g[rows]
+        G = g_node.sum()
+        H = float(m) if unit_h else h[rows].sum()
         parent_score = G * G / (H + lam)
-        best_gain = self.gamma
-        best: tuple | None = None
-        min_leaf = self.min_samples_leaf
 
-        for j in candidates:
-            xj = X[rows, j]
-            order = np.argsort(xj, kind="stable")
-            xs = xj[order]
-            # Candidate boundaries: positions where the sorted value changes.
-            change = np.nonzero(xs[1:] != xs[:-1])[0]  # split after index i
-            if change.size == 0:
-                continue
-            gs = np.cumsum(g[rows][order])
-            hs = np.cumsum(h[rows][order])
-            n_left = change + 1
-            n_right = rows.size - n_left
-            ok = (n_left >= min_leaf) & (n_right >= min_leaf)
-            GL = gs[change]
-            HL = hs[change]
-            ok &= (HL >= self.min_child_weight) & (
-                H - HL >= self.min_child_weight
+        col_idx = np.arange(sub.shape[1])[None, :]
+        order = sub.argsort(axis=0, kind="stable")
+        sorted_gid = sub[order, col_idx]
+        change = sorted_gid[1:] != sorted_gid[:-1]  # split after row i
+        gs = g_node[order].cumsum(axis=0)
+        GL = gs[:-1]
+        if unit_h:
+            HL = np.arange(1, m, dtype=np.float64)[:, None]
+        else:
+            HL = h[rows][order].cumsum(axis=0)[:-1]
+        ok = change & (HL >= self.min_child_weight) & (
+            H - HL >= self.min_child_weight
+        )
+        if self.min_samples_leaf > 1:
+            n_left = np.arange(1, m, dtype=np.int64)[:, None]
+            ok &= (n_left >= self.min_samples_leaf) & (
+                m - n_left >= self.min_samples_leaf
             )
-            if not ok.any():
-                continue
-            GR = G - GL
-            HR = H - HL
-            gains = 0.5 * (
-                GL * GL / (HL + lam) + GR * GR / (HR + lam) - parent_score
-            )
-            gains = np.where(ok, gains, -np.inf)
-            k = int(np.argmax(gains))
-            if gains[k] > best_gain:
-                best_gain = gains[k]
-                boundary = change[k]
-                thr = 0.5 * (xs[boundary] + xs[boundary + 1])
-                left_rows = rows[order[: boundary + 1]]
-                right_rows = rows[order[boundary + 1 :]]
-                best = (int(j), float(thr), left_rows, right_rows)
-        return best
+        GR = G - GL
+        HR = H - HL
+        # divide/invalid warnings are switched off for the whole fit
+        gains = 0.5 * (
+            GL * GL / (HL + lam) + GR * GR / (HR + lam) - parent_score
+        )
+        gains = np.where(ok, gains, -np.inf)
+
+        # First maximum per feature (rows not in `change` are -inf, so
+        # this matches argmax over the compressed boundary list), then
+        # the original sequential strictly-greater scan across features.
+        col_arg = np.argmax(gains, axis=0)
+        col_best = gains[col_arg, col_idx[0]]
+        best_gain = self.gamma
+        best_c = -1
+        for c in range(col_best.size):
+            if col_best[c] > best_gain:
+                best_gain = col_best[c]
+                best_c = c
+        if best_c < 0:
+            return None
+
+        j = int(candidates[best_c]) if candidates is not None else best_c
+        boundary = int(col_arg[best_c])
+        sorted_rows = rows[order[:, best_c]]
+        thr = 0.5 * (X[sorted_rows[boundary], j] + X[sorted_rows[boundary + 1], j])
+        left_rows = sorted_rows[: boundary + 1]
+        right_rows = sorted_rows[boundary + 1 :]
+        return (j, float(thr), left_rows, right_rows)
 
     # -- prediction ------------------------------------------------------------------
 
@@ -221,15 +320,19 @@ class RegressionTree:
 
     @property
     def depth(self) -> int:
-        """Depth of the fitted tree (0 for a stump)."""
+        """Depth of the fitted tree (0 for a stump).
+
+        Computed iteratively over the flat node arrays — children are
+        always allocated after their parent, so a reverse sweep sees
+        every subtree depth before its parent needs it — which keeps
+        deep trees free of ``RecursionError``.
+        """
         self._check_fitted()
-
-        def rec(node: int) -> int:
-            if self.left[node] == _NO_CHILD:
-                return 0
-            return 1 + max(rec(self.left[node]), rec(self.right[node]))
-
-        return rec(0)
+        sub = np.zeros(self.feature.size, dtype=np.int64)
+        for node in range(self.feature.size - 1, -1, -1):
+            if self.left[node] != _NO_CHILD:
+                sub[node] = 1 + max(sub[self.left[node]], sub[self.right[node]])
+        return int(sub[0])
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         """Predict leaf weights for each row of ``X``."""

@@ -69,8 +69,23 @@ class ModelRegistry:
         model = self.store.get_model(key)
         if model is not None:
             self.hits += 1
+            self._ensure_packed(model)
             return model
         self.misses += 1
         model = fit()
         self.store.put_model(key, model, kind=kind)
         return model
+
+    @staticmethod
+    def _ensure_packed(model) -> None:
+        """Repack a loaded ensemble's flat prediction arrays if absent.
+
+        Blobs written before the packed-ensemble layout existed unpickle
+        without ``_packed``; repacking is a pure layout transform of the
+        stored trees, so the loaded model still predicts bit-identically
+        to a refit.  Doing it here keeps first-predict latency out of
+        the tuning loop.
+        """
+        ensure = getattr(model, "_ensure_packed", None)
+        if callable(ensure):
+            ensure()

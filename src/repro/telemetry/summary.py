@@ -34,6 +34,34 @@ def _aggregate_spans(hub) -> list[dict]:
     return sorted(by_name.values(), key=lambda a: (-a["self"], a["name"]))
 
 
+def _ml_section(aggregates: list[dict], snapshots: list[dict]) -> list[str]:
+    """The ML-kernel digest: fit/predict spans and pool-cache hit rate."""
+    ml = [a for a in aggregates if a["name"].startswith("ml.")]
+    counters = {
+        snap["name"]: snap["value"]
+        for snap in snapshots
+        if snap["name"].startswith("pool_cache.")
+    }
+    if not ml and not counters:
+        return []
+    lines = ["", "ml kernels"]
+    for agg in sorted(ml, key=lambda a: (-a["total"], a["name"])):
+        lines.append(
+            f"  {agg['name']:30s} count={agg['count']} "
+            f"total={agg['total']:.3f}s"
+        )
+    if counters:
+        hits = counters.get("pool_cache.hits", 0)
+        misses = counters.get("pool_cache.misses", 0)
+        total = hits + misses
+        rate = hits / total if total else 0.0
+        lines.append(
+            f"  {'pool cache':30s} hits={hits} misses={misses} "
+            f"hit_rate={rate:.1%}"
+        )
+    return lines
+
+
 def render_summary(
     hub: Telemetry | NullTelemetry, top: int = 15
 ) -> str:
@@ -56,6 +84,7 @@ def render_summary(
     else:
         lines.append("no spans recorded")
     snapshots = hub.metrics_snapshot()
+    lines.extend(_ml_section(aggregates, snapshots))
     if snapshots:
         lines.append("")
         lines.append("metrics")

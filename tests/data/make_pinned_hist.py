@@ -1,0 +1,74 @@
+"""Regenerate the pinned hist-builder fixture (pinned_hist.json).
+
+``method="hist"`` trees intentionally differ from exact trees (splits
+are restricted to quantile cuts), so they get their own pinned outputs:
+a deterministic synthetic fit, its predictions on held-out rows, and
+structural facts about the grown trees.  Re-run only for an
+*intentional* behaviour change, and say so in the commit message::
+
+    PYTHONPATH=src python tests/data/make_pinned_hist.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.ml.boosting import GradientBoostedTrees
+
+
+def make_data():
+    rng = np.random.default_rng(11)
+    n, d = 300, 6
+    X = rng.normal(size=(n, d))
+    X[:, 1] = rng.integers(0, 4, size=n)  # discrete feature
+    X[:, 4] = np.round(X[:, 4], 1)  # heavy ties
+    y = (
+        5.0
+        + 2.0 * np.abs(X[:, 0])
+        + X[:, 1] * 1.5
+        + np.exp(0.3 * X[:, 2])
+        + 0.2 * rng.normal(size=n) ** 2
+    )
+    X_test = rng.normal(size=(25, d))
+    X_test[:, 1] = rng.integers(0, 4, size=25)
+    X_test[:, 4] = np.round(X_test[:, 4], 1)
+    return X, y, X_test
+
+
+def make_model() -> GradientBoostedTrees:
+    return GradientBoostedTrees(
+        n_estimators=40,
+        learning_rate=0.1,
+        max_depth=4,
+        min_samples_leaf=2,
+        subsample=0.9,
+        colsample=0.8,
+        log_target=True,
+        random_state=5,
+        method="hist",
+        max_bins=16,
+    )
+
+
+def main() -> None:
+    X, y, X_test = make_data()
+    model = make_model().fit(X, y)
+    preds = model.predict(X_test)
+    pinned = {
+        "predictions": list(preds),
+        "n_nodes": [int(t.n_nodes) for t in model._trees],
+        "depths": [int(t.depth) for t in model._trees],
+        "base_score": model._base_score,
+    }
+    path = Path(__file__).with_name("pinned_hist.json")
+    path.write_text(json.dumps(pinned, indent=1, sort_keys=True))
+    roundtrip = json.loads(path.read_text())
+    assert roundtrip["predictions"] == pinned["predictions"]
+    print(f"wrote {path}: preds[:3]={[f'{p:.6g}' for p in preds[:3]]}")
+
+
+if __name__ == "__main__":
+    main()

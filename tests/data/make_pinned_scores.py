@@ -1,0 +1,62 @@
+"""Regenerate the pinned final-model pool scores (pinned_scores.json).
+
+``pinned_tune.json`` pins the measured trajectories; this fixture pins
+the *final searcher model's* scores over the whole pool for the same
+cases, captured from the pre-fast-kernel ML implementations.  The
+vectorized kernels (presorted tree growth, packed-ensemble prediction,
+pool-score caching) must reproduce every score bit-for-bit.
+
+Re-run only for an *intentional* behaviour change, and say so in the
+commit message::
+
+    PYTHONPATH=src python tests/data/make_pinned_scores.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.objectives import EXECUTION_TIME
+from repro.core.problem import TuningProblem
+from repro.workflows.catalog import make_lv
+from repro.workflows.pools import generate_component_history, generate_pool
+
+from make_pinned import HISTORY_SIZE, POOL_SEED, POOL_SIZE, cases
+
+
+def main() -> None:
+    lv = make_lv()
+    pool = generate_pool(lv, POOL_SIZE, seed=POOL_SEED)
+    histories = {
+        label: generate_component_history(
+            lv, label, size=HISTORY_SIZE, seed=POOL_SEED
+        )
+        for label in lv.labels
+    }
+    pinned = {}
+    for key, algorithm, budget, failure_rate in cases():
+        problem = TuningProblem.create(
+            workflow=lv,
+            objective=EXECUTION_TIME,
+            pool=pool,
+            budget_runs=budget,
+            seed=3,
+            histories=histories,
+            failure_rate=failure_rate,
+        )
+        result = algorithm.tune(problem)
+        scores = result.predict_pool(pool)
+        pinned[key] = {"pool_scores": list(scores)}
+        print(f"{key:12s} scores[:3]={[f'{s:.6g}' for s in scores[:3]]}")
+
+    path = Path(__file__).with_name("pinned_scores.json")
+    path.write_text(json.dumps(pinned, indent=1, sort_keys=True))
+    roundtrip = json.loads(path.read_text())
+    for key, row in pinned.items():
+        assert roundtrip[key]["pool_scores"] == row["pool_scores"], key
+    print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

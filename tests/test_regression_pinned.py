@@ -32,6 +32,12 @@ from repro.core.problem import TuningProblem
 PINNED = json.loads(
     (Path(__file__).parent / "data" / "pinned_tune.json").read_text()
 )
+#: Final-model whole-pool scores captured from the pre-fast-kernel ML
+#: implementations (see tests/data/make_pinned_scores.py).  The
+#: vectorized kernels must reproduce every score bit-for-bit.
+PINNED_SCORES = json.loads(
+    (Path(__file__).parent / "data" / "pinned_scores.json").read_text()
+)
 
 # Mirrors tests/data/make_pinned.py (keep the two in sync).
 CASES = {
@@ -54,6 +60,7 @@ CASES = {
 
 def test_all_cases_pinned():
     assert set(CASES) == set(PINNED)
+    assert set(CASES) == set(PINNED_SCORES)
 
 
 @pytest.mark.parametrize("key", sorted(CASES))
@@ -74,6 +81,10 @@ def test_reproduces_pre_refactor_output(key, lv, lv_pool, lv_histories):
     assert [list(c) for c in result.measured] == pin["measured_configs"]
     assert list(result.measured.values()) == pin["measured_values"]
     assert list(result.best_config(lv_pool)) == pin["recommendation"]
+    # The final searcher model must score the *whole pool* bit-identically
+    # to the pre-vectorization kernels, not just agree on the argmin.
+    scores = result.predict_pool(lv_pool)
+    assert list(scores) == PINNED_SCORES[key]["pool_scores"]
 
 
 @pytest.mark.parametrize("warm_start", ["off", "components", "full"])
