@@ -81,6 +81,14 @@ class ComponentApp(abc.ABC):
     #: Application name; also the label prefix in joint workflow spaces.
     name: str = "app"
 
+    #: Whether :meth:`step_profile` is a pure function of
+    #: ``(machine, config, input_bytes)`` — i.e. every coupled step costs
+    #: the same.  All catalog apps are stationary; an app holding
+    #: per-step state must set this False, which disengages the
+    #: closed-form sweep of :mod:`repro.insitu.fast` and routes its
+    #: workflows through the DES oracle instead.
+    stationary_steps: bool = True
+
     #: Input size per step assumed for standalone runs of consumers.
     #: Solo component models are built from standalone behaviour, so a
     #: mismatch between this nominal size and the producer's actual

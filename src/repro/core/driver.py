@@ -563,7 +563,7 @@ class TuningDriver:
                     batch = batch[: max(int(remaining), 0)]
                 if not batch:
                     break
-                results = session.collector.measure(batch)
+                results = session.collector.measure_batch(batch)
                 session.iteration += 1
                 with tel.span("driver.tell", category="driver"):
                     strategy.tell(session, batch, results)

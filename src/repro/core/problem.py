@@ -93,6 +93,9 @@ class TuningProblem:
             failure_rate=failure_rate,
             failure_seed=stable_seed("failures", workflow.name, seed),
             store=binding,
+            # Live backend: off-pool batches go through the vectorized
+            # coupled-run sweep instead of raising KeyError.
+            workflow=workflow,
         )
         rng = np.random.default_rng(
             stable_seed("tuning", workflow.name, objective.name, seed)

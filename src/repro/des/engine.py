@@ -8,6 +8,7 @@ so simulated workflows are exactly reproducible.
 from __future__ import annotations
 
 import heapq
+import math
 from collections.abc import Callable, Iterable
 from typing import Any
 
@@ -40,7 +41,15 @@ class Event:
     ``f(event)`` callables; processes register their resume hooks here.
     """
 
-    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered", "_processed")
+    __slots__ = (
+        "env",
+        "callbacks",
+        "_value",
+        "_ok",
+        "_triggered",
+        "_processed",
+        "_defused",
+    )
 
     def __init__(self, env: "Environment"):
         self.env = env
@@ -49,6 +58,7 @@ class Event:
         self._ok: bool = True
         self._triggered = False
         self._processed = False
+        self._defused = False
 
     # -- state ---------------------------------------------------------------
 
@@ -73,6 +83,21 @@ class Event:
         if not self._triggered:
             raise RuntimeError("event value read before trigger")
         return self._value
+
+    @property
+    def defused(self) -> bool:
+        """True once some handler has taken ownership of a failure.
+
+        A failed event whose exception nobody handles must not vanish
+        silently: :meth:`_process` re-raises it unless a handler (a
+        waiting process, an :class:`AllOf`, or ``Environment.run``
+        awaiting the event) has marked the failure defused.
+        """
+        return self._defused
+
+    def defuse(self) -> None:
+        """Mark this event's failure as handled."""
+        self._defused = True
 
     # -- triggering ------------------------------------------------------------
 
@@ -99,11 +124,18 @@ class Event:
         return self
 
     def _process(self) -> None:
-        """Run callbacks; called by the environment."""
+        """Run callbacks; called by the environment.
+
+        A failed event that no callback defused would otherwise drop its
+        exception on the floor — the classic silent-failure bug — so it
+        is re-raised out of the event loop instead.
+        """
         self._processed = True
         callbacks, self.callbacks = self.callbacks, []
         for callback in callbacks:
             callback(self)
+        if not self._ok and not self._defused:
+            raise self._value
 
 
 class Timeout(Event):
@@ -112,8 +144,10 @@ class Timeout(Event):
     __slots__ = ("delay",)
 
     def __init__(self, env: "Environment", delay: float, value: Any = None):
-        if delay < 0:
-            raise ValueError(f"negative timeout delay: {delay}")
+        # ``delay < 0`` alone lets NaN through (every comparison with
+        # NaN is False), and a NaN timestamp poisons heap tuple ordering.
+        if not (delay >= 0):
+            raise ValueError(f"negative or NaN timeout delay: {delay}")
         super().__init__(env)
         self.delay = delay
         self._value = value
@@ -149,8 +183,13 @@ class AllOf(Event):
 
     def _on_member(self, event: Event) -> None:
         if self._triggered:
+            if not event.ok:
+                # A member failing after the AllOf already failed would
+                # otherwise be an unhandled failure; first failure wins.
+                event.defuse()
             return
         if not event.ok:
+            event.defuse()
             self.fail(event.value)
             return
         self._remaining -= 1
@@ -229,6 +268,10 @@ class Environment:
         """
         if isinstance(until, Event):
             target = until
+            # ``run`` handles the awaited event's failure by re-raising
+            # below; mark it defused so ``_process`` does not pre-empt.
+            if not target.processed:
+                target.callbacks.append(lambda event: event.defuse())
             while not target.processed:
                 if not self._heap:
                     raise RuntimeError(
@@ -241,6 +284,8 @@ class Environment:
             return target.value
 
         deadline = float("inf") if until is None else float(until)
+        if math.isnan(deadline):
+            raise ValueError("until must not be NaN")
         if deadline < self._now:
             raise ValueError(f"until={deadline} lies in the past (now={self._now})")
         while self._heap and self._heap[0][0] <= deadline:

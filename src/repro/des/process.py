@@ -70,6 +70,9 @@ class Process(Event):
         if event.ok:
             self._advance(lambda: self._generator.send(event.value))
         else:
+            # The failure is delivered into the generator; whether the
+            # process survives it or not, it is no longer unhandled.
+            event.defuse()
             self._throw(event.value)
 
     def _throw(self, exception: BaseException) -> None:

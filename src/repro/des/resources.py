@@ -47,7 +47,10 @@ class Store:
     """
 
     def __init__(self, env: Environment, capacity: float = float("inf")):
-        if capacity < 1:
+        # ``capacity < 1`` alone lets NaN through (NaN comparisons are
+        # all False), and a NaN capacity makes ``is_full`` permanently
+        # False — an unbounded buffer masquerading as bounded.
+        if not (capacity >= 1):
             raise ValueError("capacity must be at least 1")
         self.env = env
         self.capacity = capacity
@@ -101,7 +104,7 @@ class Resource:
     """
 
     def __init__(self, env: Environment, capacity: int = 1):
-        if capacity < 1:
+        if not (capacity >= 1):
             raise ValueError("capacity must be at least 1")
         self.env = env
         self.capacity = capacity

@@ -15,9 +15,21 @@ in-situ coupling — synchronisation stalls, pipelining, fabric contention
 into the paper's two observables: execution time (longest component
 wall-clock) and computer time (wall-clock × nodes × cores per node),
 with optional deterministic measurement noise.
+
+:mod:`repro.insitu.fast` evaluates whole batches of configurations
+through one vectorized steady-state sweep, bit-identical to per-config
+``run_coupled`` runs (the DES stays on as the verbatim oracle and the
+fallback for non-stationary workflows or ``REPRO_NO_FAST_DES=1``).
 """
 
 from repro.insitu.coupled import CoupledRunResult, run_coupled
+from repro.insitu.fast import (
+    fast_path_enabled,
+    fast_path_reason,
+    measure_batch,
+    run_coupled_batch,
+    run_coupled_fast,
+)
 from repro.insitu.measurement import WorkflowMeasurement, measure_workflow
 from repro.insitu.tracing import RunTracer, TraceEvent
 from repro.insitu.transport import StagingChannelModel
@@ -31,6 +43,11 @@ __all__ = [
     "TraceEvent",
     "WorkflowDefinition",
     "WorkflowMeasurement",
+    "fast_path_enabled",
+    "fast_path_reason",
+    "measure_batch",
     "measure_workflow",
     "run_coupled",
+    "run_coupled_batch",
+    "run_coupled_fast",
 ]

@@ -42,6 +42,12 @@ class WorkflowMeasurement:
     ``execution_seconds`` and ``computer_core_hours`` are the two
     optimisation objectives; ``component_seconds`` keeps the per-component
     wall-clocks for diagnostics and the ACM accuracy studies.
+
+    ``config`` is always the *canonical* configuration form — a plain
+    tuple (``Configuration = tuple``), regardless of the sequence type
+    the caller measured.  Constructors normalise with ``tuple(config)``
+    so the stored value hashes, compares, and round-trips through the
+    measurement store and npz pool caches unchanged.
     """
 
     config: Configuration
@@ -76,6 +82,9 @@ def measure_workflow(
     noise_seed:
         Salt for the deterministic noise (varies across experiment
         repetitions, fixed within one pool).
+
+    The returned measurement's ``config`` is the canonical tuple form of
+    ``config`` (see :class:`WorkflowMeasurement`).
     """
     result = run_coupled(workflow, config)
     if noise_sigma > 0:

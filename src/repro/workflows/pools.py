@@ -36,7 +36,8 @@ import numpy as np
 
 from repro import telemetry
 from repro.config.space import Configuration
-from repro.insitu.measurement import WorkflowMeasurement, measure_workflow, stable_seed
+from repro.insitu.fast import measure_batch
+from repro.insitu.measurement import WorkflowMeasurement, stable_seed
 from repro.insitu.workflow import WorkflowDefinition
 
 __all__ = [
@@ -229,9 +230,17 @@ def generate_pool(
         configs = workflow.space.sample(
             rng, size, constraint=workflow.constraint, unique=True
         )
+        # One vectorized sweep for the whole pool (bit-identical to the
+        # former per-config measure_workflow loop; the DES oracle is the
+        # fallback for ineligible workflows or REPRO_NO_FAST_DES=1).
         measurements = tuple(
-            _measure_replicated(workflow, c, noise_sigma, seed, replicates)
-            for c in configs
+            measure_batch(
+                workflow,
+                configs,
+                noise_sigma=noise_sigma,
+                noise_seed=seed,
+                replicates=replicates,
+            )
         )
         pool = MeasuredPool(workflow.name, tuple(configs), measurements)
     _POOL_MEMO[key] = pool
@@ -242,41 +251,6 @@ def generate_pool(
             size=size, seed=seed, noise_sigma=noise_sigma,
         )
     return pool
-
-
-def _measure_replicated(
-    workflow: WorkflowDefinition,
-    config: Configuration,
-    noise_sigma: float,
-    seed: int,
-    replicates: int,
-) -> WorkflowMeasurement:
-    """Average ``replicates`` independent noisy measurements of one config."""
-    runs = [
-        measure_workflow(
-            workflow,
-            config,
-            noise_sigma=noise_sigma,
-            noise_seed=seed if replicates == 1 else stable_seed(seed, rep),
-        )
-        for rep in range(replicates)
-    ]
-    if replicates == 1:
-        return runs[0]
-    labels = runs[0].component_seconds.keys()
-    return WorkflowMeasurement(
-        config=runs[0].config,
-        execution_seconds=float(np.mean([r.execution_seconds for r in runs])),
-        computer_core_hours=float(
-            np.mean([r.computer_core_hours for r in runs])
-        ),
-        component_seconds={
-            label: float(np.mean([r.component_seconds[label] for r in runs]))
-            for label in labels
-        },
-        nodes=runs[0].nodes,
-        steps=runs[0].steps,
-    )
 
 
 def generate_component_history(

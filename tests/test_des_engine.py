@@ -44,6 +44,13 @@ class TestTimeout:
         with pytest.raises(ValueError):
             env.timeout(-1.0)
 
+    def test_nan_delay_rejected(self):
+        # ``delay < 0`` alone lets NaN through (NaN comparisons are all
+        # False) and a NaN timestamp poisons the heap's tuple ordering.
+        env = Environment()
+        with pytest.raises(ValueError, match="NaN"):
+            env.timeout(float("nan"))
+
     def test_ordering_is_chronological(self):
         env = Environment()
         seen = []
@@ -103,6 +110,62 @@ class TestRun:
         p = env.process(proc())
         with pytest.raises(RuntimeError, match="deadlock"):
             env.run(p)
+
+    def test_run_until_nan_rejected(self):
+        env = Environment()
+        env.timeout(1.0)
+        with pytest.raises(ValueError, match="NaN"):
+            env.run(until=float("nan"))
+
+    def test_deadline_equal_to_next_event_processes_it(self):
+        env = Environment()
+        fired = []
+        t = env.timeout(5.0, value="edge")
+        t.callbacks.append(lambda ev: fired.append(ev.value))
+        env.run(until=5.0)
+        assert fired == ["edge"] and env.now == 5.0
+
+
+class TestUnhandledFailure:
+    def test_failed_event_without_callbacks_raises(self):
+        """A failure nobody observes must not vanish silently."""
+        env = Environment()
+        env.event().fail(RuntimeError("lost"))
+        with pytest.raises(RuntimeError, match="lost"):
+            env.run()
+
+    def test_defused_failure_is_silent(self):
+        env = Environment()
+        ev = env.event()
+        ev.fail(RuntimeError("handled elsewhere"))
+        ev.defuse()
+        env.run()
+        assert ev.processed and not ev.ok
+
+    def test_waiting_process_defuses(self):
+        """A process catching the failure counts as handling it."""
+        env = Environment()
+        ev = env.event()
+
+        def failer():
+            yield env.timeout(1.0)
+            ev.fail(RuntimeError("caught"))
+
+        def waiter():
+            with pytest.raises(RuntimeError, match="caught"):
+                yield ev
+
+        env.process(waiter())
+        env.process(failer())
+        env.run()
+        assert ev.defused
+
+    def test_run_until_failed_event_defuses(self):
+        env = Environment()
+        ev = env.event()
+        ev.fail(RuntimeError("reraised by run"))
+        with pytest.raises(RuntimeError, match="reraised by run"):
+            env.run(ev)
 
 
 class TestProcess:
@@ -233,3 +296,38 @@ class TestAllOf:
         all_ev = env.all_of([p, ok])
         with pytest.raises(RuntimeError, match="bad"):
             env.run(all_ev)
+
+    def test_already_processed_members_counted(self):
+        env = Environment()
+        a = env.timeout(0.0, value="a")
+        env.run()
+        b = env.timeout(1.0, value="b")
+        all_ev = env.all_of([a, b])
+        env.run(all_ev)
+        assert all_ev.value == ["a", "b"]
+
+    def test_already_failed_member_fails_immediately(self):
+        env = Environment()
+        ev = env.event()
+        ev.fail(RuntimeError("early"))
+        ev.defuse()
+        env.run()  # ev is processed (and handled) before the AllOf exists
+        all_ev = env.all_of([ev, env.timeout(1.0)])
+        with pytest.raises(RuntimeError, match="early"):
+            env.run(all_ev)
+
+    def test_second_failure_is_defused(self):
+        """First failure wins; later failures must not raise unhandled."""
+        env = Environment()
+
+        def failing(tag, delay):
+            yield env.timeout(delay)
+            raise RuntimeError(tag)
+
+        a = env.process(failing("first", 1.0))
+        b = env.process(failing("second", 2.0))
+        all_ev = env.all_of([a, b])
+        with pytest.raises(RuntimeError, match="first"):
+            env.run(all_ev)
+        env.run()  # b fails after the AllOf already failed — silently
+        assert b.processed and b.defused

@@ -69,6 +69,41 @@ class TestStore:
         with pytest.raises(ValueError):
             Store(env, capacity=0)
 
+    def test_nan_capacity_rejected(self):
+        # ``capacity < 1`` alone lets NaN through; a NaN capacity makes
+        # ``is_full`` permanently False — an unbounded buffer in disguise.
+        env = Environment()
+        with pytest.raises(ValueError):
+            Store(env, capacity=float("nan"))
+
+    def test_backpressure_fifo_at_one_instant(self):
+        """Queued puts drain in FIFO order when gets free slots at once."""
+        env = Environment()
+        store = Store(env, capacity=1)
+        entered = []
+
+        def producer(tag):
+            put = store.put(tag)
+            put.callbacks.append(lambda ev, t=tag: entered.append((t, env.now)))
+            yield put
+
+        for tag in "abc":
+            env.process(producer(tag))
+
+        received = []
+
+        def consumer():
+            yield env.timeout(1.0)
+            for _ in range(3):
+                item = yield store.get()
+                received.append(item)
+
+        c = env.process(consumer())
+        env.run(c)
+        assert received == ["a", "b", "c"]
+        # "a" fit immediately; "b" and "c" entered at the drain instant.
+        assert entered == [("a", 0.0), ("b", 1.0), ("c", 1.0)]
+
     def test_len_and_is_full(self):
         env = Environment()
         store = Store(env, capacity=2)
@@ -129,6 +164,21 @@ class TestResource:
         env = Environment()
         with pytest.raises(ValueError):
             Resource(env, capacity=0)
+
+    def test_nan_capacity_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            Resource(env, capacity=float("nan"))
+
+    def test_release_underflow_after_cycle(self):
+        """A second release after a valid request/release pair is rejected."""
+        env = Environment()
+        res = Resource(env, capacity=1)
+        res.request()
+        env.run()
+        res.release()
+        with pytest.raises(RuntimeError):
+            res.release()
 
     def test_available_accounting(self):
         env = Environment()

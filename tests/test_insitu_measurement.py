@@ -60,3 +60,29 @@ class TestMeasurement:
     def test_execution_longest_component(self, lv):
         m = measure_workflow(lv, expert_config("LV", "execution_time"), noise_sigma=0)
         assert m.execution_seconds == max(m.component_seconds.values())
+
+
+class TestConfigCanonicalForm:
+    """``WorkflowMeasurement.config`` is always the canonical plain tuple."""
+
+    def test_list_config_stored_as_tuple(self, lv):
+        config = expert_config("LV", "execution_time")
+        m = measure_workflow(lv, list(config), noise_sigma=0)
+        assert type(m.config) is tuple
+        assert m.config == config
+
+    def test_round_trips_through_measurement_store(self, lv, tmp_path):
+        from repro.store.db import MeasurementStore, StoreBinding
+        from repro.store.signatures import space_signature
+
+        config = expert_config("LV", "execution_time")
+        m = measure_workflow(lv, list(config), noise_sigma=0.05, noise_seed=4)
+        store = MeasurementStore(tmp_path / "measurements.sqlite")
+        binding = StoreBinding(store, lv, "execution_time", seed=0)
+        assert binding.record_workflow([(m.config, m)]) == 1
+
+        rows = store.query(space_sig=space_signature(lv.space)).records
+        assert len(rows) == 1
+        assert type(rows[0].config) is tuple
+        assert rows[0].config == m.config
+        assert rows[0].value == m.execution_seconds

@@ -87,6 +87,39 @@ def test_reproduces_pre_refactor_output(key, lv, lv_pool, lv_histories):
     assert list(scores) == PINNED_SCORES[key]["pool_scores"]
 
 
+def test_oracle_pool_preserves_pinned_output(lv, lv_pool, lv_histories, monkeypatch):
+    """The fast measurement sweep never moves a pinned number.
+
+    The fixtures' pools go through ``repro.insitu.fast`` by default; a
+    pool regenerated with ``REPRO_NO_FAST_DES=1`` (per-config DES
+    oracle) must be bit-identical, and tuning on it must reproduce the
+    pinned pre-fast-path output.
+    """
+    from repro.workflows import pools
+
+    monkeypatch.setenv("REPRO_NO_FAST_DES", "1")
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    monkeypatch.setattr(pools, "_POOL_MEMO", {})
+    oracle_pool = pools.generate_pool(lv, len(lv_pool), seed=7)
+    assert oracle_pool.configs == lv_pool.configs
+    assert oracle_pool.measurements == lv_pool.measurements
+
+    pin = PINNED["rs"]
+    problem = TuningProblem.create(
+        workflow=lv,
+        objective=EXECUTION_TIME,
+        pool=oracle_pool,
+        budget_runs=pin["budget"],
+        seed=3,
+        histories=lv_histories,
+        failure_rate=pin["failure_rate"],
+    )
+    result = CASES["rs"]().tune(problem)
+    assert [list(c) for c in result.measured] == pin["measured_configs"]
+    assert list(result.measured.values()) == pin["measured_values"]
+    assert list(result.best_config(oracle_pool)) == pin["recommendation"]
+
+
 @pytest.mark.parametrize("warm_start", ["off", "components", "full"])
 @pytest.mark.parametrize("key", ["rs", "ceal_paid", "alph_paid"])
 def test_empty_store_preserves_pinned_output(
