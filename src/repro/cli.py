@@ -1,13 +1,17 @@
 """Command-line interface.
 
-Two subcommands::
+Four subcommands::
 
     python -m repro tune --workflow LV --objective computer_time --budget 50
     python -m repro reproduce --target fig05 --repeats 10 --pool 1000
+    python -m repro suite run examples/suites/smoke.toml --store runs.db
+    python -m repro store stats runs.db
 
 ``tune`` runs the auto-tuner once and prints the recommendation;
 ``reproduce`` regenerates one of the paper's tables/figures and prints
-the rows.
+the rows; ``suite`` compiles a declarative TOML/JSON experiment spec
+into a run matrix, executes it resumably (``run``/``resume``) and
+prints the statistical analysis report (``report``).
 
 Machine-readable results go to stdout; diagnostics go to stderr through
 the ``repro`` logger (``-v`` for progress + telemetry summary, ``-vv``
@@ -144,6 +148,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--keep-sessions", type=int, default=None, metavar="N",
         help="gc: keep only the N newest sessions' measurements "
         "(default: keep all, drop only cached models and orphans)")
+
+    suite = sub.add_parser(
+        "suite", help="run a declarative experiment suite"
+    )
+    _add_common_flags(suite)
+    suite.add_argument(
+        "action", choices=("run", "resume", "report"),
+        help="'run' executes the spec's matrix (skipping cells already "
+        "in --store) and prints the analysis report; 'resume' is 'run' "
+        "requiring --store; 'report' only reads cached cells")
+    suite.add_argument("spec", help="suite spec file (.toml or .json)")
+    suite.add_argument(
+        "--store", metavar="PATH", default=None,
+        help="measurement store holding finished cells: completed cells "
+        "are skipped on re-run and a killed suite resumes where it "
+        "left off (created if missing)")
+    suite.add_argument(
+        "--jobs", type=_jobs_value, default=None, metavar="N",
+        help="worker processes for cell fan-out ('auto' = one per CPU; "
+        "default: REPRO_JOBS or serial); results are identical to serial")
+    suite.add_argument(
+        "--max-cells", type=int, default=None, metavar="K",
+        help="execute at most K pending cells this invocation (matrix "
+        "order) — budgeted incremental runs; pair with --store")
+    suite.add_argument(
+        "--report", metavar="PATH", default=None, dest="report_path",
+        help="also write the JSON report to PATH (stdout always gets it "
+        "when the matrix is complete)")
+    suite.add_argument(
+        "--record-measurements", action="store_true",
+        help="additionally write every paid trial measurement through "
+        "to --store's measurement tables")
     return parser
 
 
@@ -350,6 +386,65 @@ def _cmd_store(args, out) -> int:
     return 0
 
 
+def _cmd_suite(args, out) -> int:
+    import json
+    import os
+
+    from repro.experiments.suite import (
+        SuiteIncompleteError,
+        load_spec,
+        run_suite,
+    )
+
+    if args.action in ("resume", "report") and not args.store:
+        log.error("suite %s requires --store PATH", args.action)
+        return 2
+    if args.action == "report" and not os.path.exists(args.store):
+        log.error("store database %s does not exist", args.store)
+        return 2
+    if args.record_measurements and not args.store:
+        log.error("--record-measurements requires --store PATH")
+        return 2
+    try:
+        spec = load_spec(args.spec)
+    except (OSError, ValueError, KeyError) as exc:
+        log.error("cannot load suite spec %s: %s", args.spec, exc)
+        return 2
+    log.info(
+        "suite %s: %d group(s), %d cell(s)",
+        spec.name, len(spec.groups),
+        sum(len(g.algorithms) * g.repeats for g in spec.groups),
+    )
+    result = run_suite(
+        spec,
+        jobs=args.jobs,
+        store=args.store,
+        # 'report' never executes cells; it only assembles cached ones.
+        max_cells=0 if args.action == "report" else args.max_cells,
+        record_measurements=args.record_measurements,
+    )
+    log.info(
+        "suite %s: %d cell(s) run, %d cached, %d pending",
+        spec.name, result.cells_run, result.cells_cached,
+        sum(t is None for t in result.trials),
+    )
+    try:
+        report = result.report()
+    except SuiteIncompleteError as exc:
+        if args.action == "report":
+            log.error("%s", exc)
+            return 2
+        log.warning("%s", exc)
+        return 0
+    text = json.dumps(report, indent=2, sort_keys=True)
+    print(text, file=out)
+    if args.report_path:
+        with open(args.report_path, "w") as fh:
+            fh.write(text + "\n")
+        log.info("report written to %s", args.report_path)
+    return 0
+
+
 def main(argv: list[str] | None = None, out=None) -> int:
     """CLI entry point; returns a process exit code."""
     out = out or sys.stdout
@@ -375,6 +470,8 @@ def _dispatch(args, out) -> int:
         return _cmd_reproduce(args, out)
     if args.command == "store":
         return _cmd_store(args, out)
+    if args.command == "suite":
+        return _cmd_suite(args, out)
     raise AssertionError("unreachable")
 
 

@@ -1,8 +1,17 @@
-"""One driver per paper figure (Figs. 4–12).
+"""One driver per paper figure (Figs. 4–12), as suite-spec builders.
 
-Every driver returns a :class:`FigureResult` whose ``rows`` are plain
-dicts (one per plotted bar/point/series entry), ready for
-:func:`repro.experiments.reporting.format_table` or downstream plotting.
+Every trial-running driver is a thin pair: a ``figNN_spec`` builder
+declaring the figure's run matrix as a
+:class:`~repro.experiments.suite.SuiteSpec`, and a ``figNN_*`` driver
+executing it through :func:`~repro.experiments.suite.run_suite` and
+shaping the trials into a :class:`FigureResult` whose ``rows`` are
+plain dicts (one per plotted bar/point/series entry), ready for
+:func:`repro.experiments.reporting.format_table` or downstream
+plotting.  Passing ``store=`` to any driver makes its matrix resumable
+(finished cells are skipped on re-run); the specs are single-seed by
+default and reproduce the legacy hand-wired outputs bit-identically
+(pinned in ``tests/test_suite.py``).
+
 Budgets follow the paper's grids; ``repeats`` and ``pool_size`` default
 to bench-friendly values (the paper averages 100 repeats on
 2000-configuration pools — pass those for full-fidelity runs).
@@ -14,15 +23,19 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.algorithms import ActiveLearning, Alph, Geist, RandomSampling
-from repro.core.ceal import Ceal, CealSettings
 from repro.core.collector import ComponentBatchData
 from repro.core.component_models import ComponentModelSet
 from repro.core.low_fidelity import LowFidelityModel
 from repro.core.metrics import least_number_of_uses, recall_curve
-from repro.core.objectives import COMPUTER_TIME, EXECUTION_TIME, get_objective
-from repro.experiments.presets import ceal_settings_for
-from repro.experiments.runner import AlgorithmSpec, run_trials, summarize
+from repro.core.objectives import COMPUTER_TIME, EXECUTION_TIME
+from repro.experiments.presets import (
+    AlgorithmFactor,
+    ceal_factor,
+    history_factors,
+    no_history_factors,
+)
+from repro.experiments.runner import summarize
+from repro.experiments.suite import SuiteGroup, SuiteSpec, run_suite
 from repro.insitu.measurement import measure_workflow
 from repro.workflows.catalog import expert_config, make_workflow
 from repro.workflows.pools import generate_component_history, generate_pool
@@ -31,13 +44,21 @@ __all__ = [
     "FigureResult",
     "fig04_lowfid_recall",
     "fig05_best_config",
+    "fig05_spec",
     "fig06_mdape",
+    "fig06_spec",
     "fig07_recall",
+    "fig07_spec",
     "fig08_practicality",
+    "fig08_spec",
     "fig09_history_effect",
+    "fig09_spec",
     "fig10_ceal_vs_alph",
+    "fig10_spec",
     "fig11_alph_recall",
+    "fig11_spec",
     "fig12_alph_practicality",
+    "fig12_spec",
 ]
 
 #: Budget grids of the paper's evaluation: execution time is studied at
@@ -62,21 +83,47 @@ class FigureResult:
         return f"{self.figure}: {self.title}\n" + format_table(self.rows, digits=digits)
 
 
-def _no_history_specs(workflow_name: str, budget: int) -> tuple[AlgorithmSpec, ...]:
-    settings = ceal_settings_for(workflow_name, budget, use_history=False)
-    return (
-        AlgorithmSpec("RS", RandomSampling),
-        AlgorithmSpec("GEIST", Geist),
-        AlgorithmSpec("AL", ActiveLearning),
-        AlgorithmSpec("CEAL", lambda: Ceal(settings)),
+def _group(
+    workflow: str,
+    objective: str,
+    budget: int,
+    factors: tuple,
+    repeats: int,
+    pool_size: int,
+    seed: int,
+    recall_max_n: int = 10,
+) -> SuiteGroup:
+    return SuiteGroup(
+        workflow=workflow,
+        objective=objective,
+        budget=budget,
+        algorithms=factors,
+        repeats=repeats,
+        pool_size=pool_size,
+        pool_seed=seed,
+        recall_max_n=recall_max_n,
     )
 
 
-def _history_specs() -> tuple[AlgorithmSpec, ...]:
-    return (
-        AlgorithmSpec("CEAL", lambda: Ceal(CealSettings(use_history=True))),
-        AlgorithmSpec("ALpH", lambda: Alph(use_history=True)),
+def _grid_spec(
+    name: str,
+    grids,
+    factors: tuple,
+    repeats: int,
+    pool_size: int,
+    seed: int,
+    recall_max_n: int = 10,
+) -> SuiteSpec:
+    """A spec over ``(objective, (workflow, budget)...)`` grids."""
+    groups = tuple(
+        _group(
+            workflow, objective, budget, factors, repeats, pool_size, seed,
+            recall_max_n,
+        )
+        for objective, grid in grids
+        for workflow, budget in grid
     )
+    return SuiteSpec(name=name, groups=groups)
 
 
 # ---------------------------------------------------------------------------
@@ -97,6 +144,10 @@ def fig04_lowfid_recall(
     models trained on the full solo histories) and reports recall against
     the measured ranking, alongside the expectation of a random ranking
     (``n / pool_size``).
+
+    The only figure without a run matrix: it evaluates *models*, not
+    tuning algorithms, so it stays a direct driver rather than a suite
+    spec.
     """
     workflow = make_workflow(workflow_name)
     pool = generate_pool(workflow, pool_size, seed=seed)
@@ -139,44 +190,41 @@ def fig04_lowfid_recall(
 # ---------------------------------------------------------------------------
 
 
+def fig05_spec(
+    repeats: int = 10, pool_size: int = 1000, seed: int = 2021
+) -> SuiteSpec:
+    grids = (("execution_time", EXEC_GRID), ("computer_time", COMP_GRID))
+    return _grid_spec(
+        "fig05", grids, no_history_factors(), repeats, pool_size, seed
+    )
+
+
 def fig05_best_config(
     repeats: int = 10,
     pool_size: int = 1000,
     seed: int = 2021,
     jobs: int | str | None = None,
+    store=None,
 ) -> FigureResult:
     """Normalized best-configuration performance, RS/GEIST/AL/CEAL (Fig. 5)."""
     result = FigureResult(
         "Fig. 5", "Best configuration auto-tuned without historical measurements"
     )
-    grids = (
-        ("execution_time", EXEC_GRID),
-        ("computer_time", COMP_GRID),
-    )
-    for objective_name, grid in grids:
-        for workflow_name, budget in grid:
-            trials = run_trials(
-                workflow_name,
-                objective_name,
-                _no_history_specs(workflow_name, budget),
-                budget=budget,
-                repeats=repeats,
-                pool_size=pool_size,
-                pool_seed=seed,
-                jobs=jobs,
+    spec = fig05_spec(repeats, pool_size, seed)
+    outcome = run_suite(spec, jobs=jobs, store=store)
+    for group, trials in zip(spec.groups, outcome.by_group()):
+        summary = summarize(trials)
+        for algo in ("RS", "GEIST", "AL", "CEAL"):
+            result.rows.append(
+                {
+                    "objective": group.objective,
+                    "workflow": group.workflow,
+                    "samples": group.budget,
+                    "algorithm": algo,
+                    "normalized": summary[algo]["normalized"],
+                    "std": summary[algo]["normalized_std"],
+                }
             )
-            summary = summarize(trials)
-            for algo in ("RS", "GEIST", "AL", "CEAL"):
-                result.rows.append(
-                    {
-                        "objective": objective_name,
-                        "workflow": workflow_name,
-                        "samples": budget,
-                        "algorithm": algo,
-                        "normalized": summary[algo]["normalized"],
-                        "std": summary[algo]["normalized_std"],
-                    }
-                )
     return result
 
 
@@ -185,40 +233,45 @@ def fig05_best_config(
 # ---------------------------------------------------------------------------
 
 
-def fig06_mdape(
-    repeats: int = 10,
-    pool_size: int = 1000,
-    seed: int = 2021,
-    jobs: int | str | None = None,
-) -> FigureResult:
-    """Model MdAPE over all and top-2 % test configurations (Fig. 6)."""
+def fig06_spec(
+    repeats: int = 10, pool_size: int = 1000, seed: int = 2021
+) -> SuiteSpec:
     cases = (
         ("LV", "computer_time", 50),
         ("HS", "execution_time", 100),
         ("GP", "computer_time", 25),
     )
+    groups = tuple(
+        _group(
+            workflow, objective, budget, no_history_factors(), repeats,
+            pool_size, seed,
+        )
+        for workflow, objective, budget in cases
+    )
+    return SuiteSpec(name="fig06", groups=groups)
+
+
+def fig06_mdape(
+    repeats: int = 10,
+    pool_size: int = 1000,
+    seed: int = 2021,
+    jobs: int | str | None = None,
+    store=None,
+) -> FigureResult:
+    """Model MdAPE over all and top-2 % test configurations (Fig. 6)."""
     result = FigureResult(
         "Fig. 6", "Prediction accuracy (MdAPE %) without historical measurements"
     )
-    for workflow_name, objective_name, budget in cases:
-        summary = summarize(
-            run_trials(
-                workflow_name,
-                objective_name,
-                _no_history_specs(workflow_name, budget),
-                budget=budget,
-                repeats=repeats,
-                pool_size=pool_size,
-                pool_seed=seed,
-                jobs=jobs,
-            )
-        )
+    spec = fig06_spec(repeats, pool_size, seed)
+    outcome = run_suite(spec, jobs=jobs, store=store)
+    for group, trials in zip(spec.groups, outcome.by_group()):
+        summary = summarize(trials)
         for algo in ("RS", "GEIST", "AL", "CEAL"):
             result.rows.append(
                 {
-                    "workflow": workflow_name,
-                    "objective": objective_name,
-                    "samples": budget,
+                    "workflow": group.workflow,
+                    "objective": group.objective,
+                    "samples": group.budget,
                     "algorithm": algo,
                     "mdape_top2_pct": summary[algo]["mdape_top2"],
                     "mdape_all_pct": summary[algo]["mdape_all"],
@@ -232,42 +285,49 @@ def fig06_mdape(
 # ---------------------------------------------------------------------------
 
 
-def fig07_recall(
+def fig07_spec(
     repeats: int = 10,
     pool_size: int = 1000,
     seed: int = 2021,
     max_n: int = 9,
-    jobs: int | str | None = None,
-) -> FigureResult:
-    """Recall of top-n configurations, four algorithms (Fig. 7)."""
+) -> SuiteSpec:
     cases = (
         ("LV", "execution_time", 100),
         ("HS", "execution_time", 100),
         ("LV", "computer_time", 50),
         ("GP", "computer_time", 50),
     )
-    result = FigureResult("Fig. 7", "Robustness without historical measurements")
-    for workflow_name, objective_name, budget in cases:
-        summary = summarize(
-            run_trials(
-                workflow_name,
-                objective_name,
-                _no_history_specs(workflow_name, budget),
-                budget=budget,
-                repeats=repeats,
-                pool_size=pool_size,
-                pool_seed=seed,
-                recall_max_n=max_n,
-                jobs=jobs,
-            )
+    groups = tuple(
+        _group(
+            workflow, objective, budget, no_history_factors(), repeats,
+            pool_size, seed, recall_max_n=max_n,
         )
+        for workflow, objective, budget in cases
+    )
+    return SuiteSpec(name="fig07", groups=groups)
+
+
+def fig07_recall(
+    repeats: int = 10,
+    pool_size: int = 1000,
+    seed: int = 2021,
+    max_n: int = 9,
+    jobs: int | str | None = None,
+    store=None,
+) -> FigureResult:
+    """Recall of top-n configurations, four algorithms (Fig. 7)."""
+    result = FigureResult("Fig. 7", "Robustness without historical measurements")
+    spec = fig07_spec(repeats, pool_size, seed, max_n)
+    outcome = run_suite(spec, jobs=jobs, store=store)
+    for group, trials in zip(spec.groups, outcome.by_group()):
+        summary = summarize(trials)
         for algo in ("RS", "GEIST", "AL", "CEAL"):
             for n in range(1, max_n + 1):
                 result.rows.append(
                     {
-                        "workflow": workflow_name,
-                        "objective": objective_name,
-                        "samples": budget,
+                        "workflow": group.workflow,
+                        "objective": group.objective,
+                        "samples": group.budget,
                         "algorithm": algo,
                         "top_n": n,
                         "recall_pct": float(summary[algo]["recall"][n - 1]),
@@ -281,25 +341,12 @@ def fig07_recall(
 # ---------------------------------------------------------------------------
 
 
-def _practicality_rows(
-    specs, workflow_name, objective_name, budget, repeats, pool_size, seed,
-    jobs=None,
-):
-    workflow = make_workflow(workflow_name)
-    objective = get_objective(objective_name)
+def _practicality_rows(group: SuiteGroup, trials) -> list[dict]:
+    """The §7.2.3 rows of one suite group's trials."""
+    workflow = make_workflow(group.workflow)
     expert = measure_workflow(
-        workflow, expert_config(workflow_name, objective_name), noise_sigma=0
-    ).objective(objective_name)
-    trials = run_trials(
-        workflow_name,
-        objective_name,
-        specs,
-        budget=budget,
-        repeats=repeats,
-        pool_size=pool_size,
-        pool_seed=seed,
-        jobs=jobs,
-    )
+        workflow, expert_config(group.workflow, group.objective), noise_sigma=0
+    ).objective(group.objective)
     rows = []
     by_algo: dict[str, list] = {}
     for t in trials:
@@ -315,9 +362,9 @@ def _practicality_rows(
         recouped = np.mean([t.best_value < expert for t in ts])
         rows.append(
             {
-                "workflow": workflow_name,
-                "objective": objective_name,
-                "samples": budget,
+                "workflow": group.workflow,
+                "objective": group.objective,
+                "samples": group.budget,
                 "algorithm": algo,
                 "least_uses": uses,
                 "recouped_fraction": float(recouped),
@@ -327,27 +374,35 @@ def _practicality_rows(
     return rows
 
 
+def fig08_spec(
+    repeats: int = 10, pool_size: int = 1000, seed: int = 2021
+) -> SuiteSpec:
+    factors = (
+        AlgorithmFactor.make("AL", "al"),
+        ceal_factor("CEAL", use_history=False),
+    )
+    groups = tuple(
+        _group(workflow, "computer_time", 50, factors, repeats, pool_size, seed)
+        for workflow in ("LV", "HS")
+    )
+    return SuiteSpec(name="fig08", groups=groups)
+
+
 def fig08_practicality(
     repeats: int = 10,
     pool_size: int = 1000,
     seed: int = 2021,
     jobs: int | str | None = None,
+    store=None,
 ) -> FigureResult:
     """Least number of uses, AL vs CEAL, computer time, 50 samples (Fig. 8)."""
-    specs = (
-        AlgorithmSpec("AL", ActiveLearning),
-        AlgorithmSpec("CEAL", lambda: Ceal(CealSettings(use_history=False))),
-    )
     result = FigureResult(
         "Fig. 8", "Practicality without historical measurements (computer time)"
     )
-    for workflow_name in ("LV", "HS"):
-        result.rows.extend(
-            _practicality_rows(
-                specs, workflow_name, "computer_time", 50, repeats, pool_size,
-                seed, jobs,
-            )
-        )
+    spec = fig08_spec(repeats, pool_size, seed)
+    outcome = run_suite(spec, jobs=jobs, store=store)
+    for group, trials in zip(spec.groups, outcome.by_group()):
+        result.rows.extend(_practicality_rows(group, trials))
     return result
 
 
@@ -356,47 +411,40 @@ def fig08_practicality(
 # ---------------------------------------------------------------------------
 
 
+def fig09_spec(
+    repeats: int = 10, pool_size: int = 1000, seed: int = 2021
+) -> SuiteSpec:
+    factors = (
+        ceal_factor("CEAL w/o histories", use_history=False),
+        ceal_factor("CEAL w/ histories", use_history=True),
+    )
+    grids = (("execution_time", EXEC_GRID), ("computer_time", COMP_GRID))
+    return _grid_spec("fig09", grids, factors, repeats, pool_size, seed)
+
+
 def fig09_history_effect(
     repeats: int = 10,
     pool_size: int = 1000,
     seed: int = 2021,
     jobs: int | str | None = None,
+    store=None,
 ) -> FigureResult:
     """CEAL with vs without free historical measurements (Fig. 9)."""
-    specs = (
-        AlgorithmSpec(
-            "CEAL w/o histories", lambda: Ceal(CealSettings(use_history=False))
-        ),
-        AlgorithmSpec(
-            "CEAL w/ histories", lambda: Ceal(CealSettings(use_history=True))
-        ),
-    )
     result = FigureResult("Fig. 9", "Effect of historical measurements on CEAL")
-    grids = (("execution_time", EXEC_GRID), ("computer_time", COMP_GRID))
-    for objective_name, grid in grids:
-        for workflow_name, budget in grid:
-            summary = summarize(
-                run_trials(
-                    workflow_name,
-                    objective_name,
-                    specs,
-                    budget=budget,
-                    repeats=repeats,
-                    pool_size=pool_size,
-                    pool_seed=seed,
-                    jobs=jobs,
-                )
+    spec = fig09_spec(repeats, pool_size, seed)
+    outcome = run_suite(spec, jobs=jobs, store=store)
+    for group, trials in zip(spec.groups, outcome.by_group()):
+        summary = summarize(trials)
+        for algo in summary:
+            result.rows.append(
+                {
+                    "objective": group.objective,
+                    "workflow": group.workflow,
+                    "samples": group.budget,
+                    "algorithm": algo,
+                    "normalized": summary[algo]["normalized"],
+                }
             )
-            for algo in summary:
-                result.rows.append(
-                    {
-                        "objective": objective_name,
-                        "workflow": workflow_name,
-                        "samples": budget,
-                        "algorithm": algo,
-                        "normalized": summary[algo]["normalized"],
-                    }
-                )
     return result
 
 
@@ -405,40 +453,59 @@ def fig09_history_effect(
 # ---------------------------------------------------------------------------
 
 
+def fig10_spec(
+    repeats: int = 10, pool_size: int = 1000, seed: int = 2021
+) -> SuiteSpec:
+    grids = (("execution_time", EXEC_GRID), ("computer_time", COMP_GRID))
+    return _grid_spec("fig10", grids, history_factors(), repeats, pool_size, seed)
+
+
 def fig10_ceal_vs_alph(
     repeats: int = 10,
     pool_size: int = 1000,
     seed: int = 2021,
     jobs: int | str | None = None,
+    store=None,
 ) -> FigureResult:
     """Best configuration, CEAL vs ALpH, with histories (Fig. 10)."""
     result = FigureResult("Fig. 10", "CEAL vs ALpH with historical measurements")
-    grids = (("execution_time", EXEC_GRID), ("computer_time", COMP_GRID))
-    for objective_name, grid in grids:
-        for workflow_name, budget in grid:
-            summary = summarize(
-                run_trials(
-                    workflow_name,
-                    objective_name,
-                    _history_specs(),
-                    budget=budget,
-                    repeats=repeats,
-                    pool_size=pool_size,
-                    pool_seed=seed,
-                    jobs=jobs,
-                )
+    spec = fig10_spec(repeats, pool_size, seed)
+    outcome = run_suite(spec, jobs=jobs, store=store)
+    for group, trials in zip(spec.groups, outcome.by_group()):
+        summary = summarize(trials)
+        for algo in ("CEAL", "ALpH"):
+            result.rows.append(
+                {
+                    "objective": group.objective,
+                    "workflow": group.workflow,
+                    "samples": group.budget,
+                    "algorithm": algo,
+                    "normalized": summary[algo]["normalized"],
+                }
             )
-            for algo in ("CEAL", "ALpH"):
-                result.rows.append(
-                    {
-                        "objective": objective_name,
-                        "workflow": workflow_name,
-                        "samples": budget,
-                        "algorithm": algo,
-                        "normalized": summary[algo]["normalized"],
-                    }
-                )
     return result
+
+
+def fig11_spec(
+    repeats: int = 10,
+    pool_size: int = 1000,
+    seed: int = 2021,
+    max_n: int = 9,
+) -> SuiteSpec:
+    cases = (
+        ("LV", "execution_time", 50),
+        ("HS", "execution_time", 50),
+        ("LV", "computer_time", 25),
+        ("GP", "computer_time", 25),
+    )
+    groups = tuple(
+        _group(
+            workflow, objective, budget, history_factors(), repeats,
+            pool_size, seed, recall_max_n=max_n,
+        )
+        for workflow, objective, budget in cases
+    )
+    return SuiteSpec(name="fig11", groups=groups)
 
 
 def fig11_alph_recall(
@@ -447,36 +514,21 @@ def fig11_alph_recall(
     seed: int = 2021,
     max_n: int = 9,
     jobs: int | str | None = None,
+    store=None,
 ) -> FigureResult:
     """Recall curves, CEAL vs ALpH, with histories (Fig. 11)."""
-    cases = (
-        ("LV", "execution_time", 50),
-        ("HS", "execution_time", 50),
-        ("LV", "computer_time", 25),
-        ("GP", "computer_time", 25),
-    )
     result = FigureResult("Fig. 11", "Robustness with historical measurements")
-    for workflow_name, objective_name, budget in cases:
-        summary = summarize(
-            run_trials(
-                workflow_name,
-                objective_name,
-                _history_specs(),
-                budget=budget,
-                repeats=repeats,
-                pool_size=pool_size,
-                pool_seed=seed,
-                recall_max_n=max_n,
-                jobs=jobs,
-            )
-        )
+    spec = fig11_spec(repeats, pool_size, seed, max_n)
+    outcome = run_suite(spec, jobs=jobs, store=store)
+    for group, trials in zip(spec.groups, outcome.by_group()):
+        summary = summarize(trials)
         for algo in ("CEAL", "ALpH"):
             for n in range(1, max_n + 1):
                 result.rows.append(
                     {
-                        "workflow": workflow_name,
-                        "objective": objective_name,
-                        "samples": budget,
+                        "workflow": group.workflow,
+                        "objective": group.objective,
+                        "samples": group.budget,
                         "algorithm": algo,
                         "top_n": n,
                         "recall_pct": float(summary[algo]["recall"][n - 1]),
@@ -485,14 +537,9 @@ def fig11_alph_recall(
     return result
 
 
-def fig12_alph_practicality(
-    repeats: int = 10,
-    pool_size: int = 1000,
-    seed: int = 2021,
-    jobs: int | str | None = None,
-) -> FigureResult:
-    """Least number of uses, CEAL vs ALpH, with histories (Fig. 12)."""
-    result = FigureResult("Fig. 12", "Practicality with historical measurements")
+def fig12_spec(
+    repeats: int = 10, pool_size: int = 1000, seed: int = 2021
+) -> SuiteSpec:
     cases = (
         ("LV", "execution_time", 50),
         ("HS", "execution_time", 100),
@@ -501,17 +548,27 @@ def fig12_alph_practicality(
         ("HS", "computer_time", 25),
         ("HS", "computer_time", 50),
     )
-    for workflow_name, objective_name, budget in cases:
-        result.rows.extend(
-            _practicality_rows(
-                _history_specs(),
-                workflow_name,
-                objective_name,
-                budget,
-                repeats,
-                pool_size,
-                seed,
-                jobs,
-            )
+    groups = tuple(
+        _group(
+            workflow, objective, budget, history_factors(), repeats,
+            pool_size, seed,
         )
+        for workflow, objective, budget in cases
+    )
+    return SuiteSpec(name="fig12", groups=groups)
+
+
+def fig12_alph_practicality(
+    repeats: int = 10,
+    pool_size: int = 1000,
+    seed: int = 2021,
+    jobs: int | str | None = None,
+    store=None,
+) -> FigureResult:
+    """Least number of uses, CEAL vs ALpH, with histories (Fig. 12)."""
+    result = FigureResult("Fig. 12", "Practicality with historical measurements")
+    spec = fig12_spec(repeats, pool_size, seed)
+    outcome = run_suite(spec, jobs=jobs, store=store)
+    for group, trials in zip(spec.groups, outcome.by_group()):
+        result.rows.extend(_practicality_rows(group, trials))
     return result

@@ -5,19 +5,50 @@ and computer time for a realistic workflow by 18.5 % and 47.5 %
 relative to random sampling, and by 11.2 % and 39.8 % relative to a
 state-of-the-art algorithm, GEIST."  (The realistic workflow is LV.)
 
-This driver measures the same quantities: the mean tuned
+This driver measures the same quantities — the mean tuned
 execution/computer time of LV at ``m = 50`` under CEAL, RS and GEIST,
-and the percentage reductions CEAL achieves.
+and the percentage reductions CEAL achieves — as a suite spec executed
+through :func:`~repro.experiments.suite.run_suite`, so the claim can
+also be re-run with repeats and a store and reported with confidence
+intervals (``repro suite`` over :func:`headline_spec`).
 """
 
 from __future__ import annotations
 
-from repro.core.algorithms import Geist, RandomSampling
-from repro.core.ceal import Ceal, CealSettings
 from repro.experiments.figures import FigureResult
-from repro.experiments.runner import AlgorithmSpec, run_trials, summarize
+from repro.experiments.presets import AlgorithmFactor, ceal_factor
+from repro.experiments.runner import summarize
+from repro.experiments.suite import SuiteGroup, SuiteSpec, run_suite
 
-__all__ = ["headline_claims"]
+__all__ = ["headline_claims", "headline_spec"]
+
+
+def headline_spec(
+    repeats: int = 10,
+    pool_size: int = 1000,
+    seed: int = 2021,
+    budget: int = 50,
+    workflow_name: str = "LV",
+) -> SuiteSpec:
+    """The headline comparison as a run matrix: RS/GEIST/CEAL × objectives."""
+    factors = (
+        AlgorithmFactor.make("RS", "rs"),
+        AlgorithmFactor.make("GEIST", "geist"),
+        ceal_factor("CEAL", use_history=False),
+    )
+    groups = tuple(
+        SuiteGroup(
+            workflow=workflow_name,
+            objective=objective,
+            budget=budget,
+            algorithms=factors,
+            repeats=repeats,
+            pool_size=pool_size,
+            pool_seed=seed,
+        )
+        for objective in ("execution_time", "computer_time")
+    )
+    return SuiteSpec(name="headline", groups=groups)
 
 
 def headline_claims(
@@ -27,36 +58,23 @@ def headline_claims(
     budget: int = 50,
     workflow_name: str = "LV",
     jobs: int | str | None = None,
+    store=None,
 ) -> FigureResult:
     """CEAL's tuned-time reductions vs RS and GEIST (abstract/§1)."""
-    specs = (
-        AlgorithmSpec("RS", RandomSampling),
-        AlgorithmSpec("GEIST", Geist),
-        AlgorithmSpec("CEAL", lambda: Ceal(CealSettings(use_history=False))),
-    )
     result = FigureResult(
         "Headline",
         f"CEAL vs RS/GEIST tuned times ({workflow_name}, m={budget})",
     )
-    for objective in ("execution_time", "computer_time"):
-        summary = summarize(
-            run_trials(
-                workflow_name,
-                objective,
-                specs,
-                budget=budget,
-                repeats=repeats,
-                pool_size=pool_size,
-                pool_seed=seed,
-                jobs=jobs,
-            )
-        )
+    spec = headline_spec(repeats, pool_size, seed, budget, workflow_name)
+    outcome = run_suite(spec, jobs=jobs, store=store)
+    for group, trials in zip(spec.groups, outcome.by_group()):
+        summary = summarize(trials)
         ceal = summary["CEAL"]["best_value"]
         for baseline in ("RS", "GEIST"):
             base = summary[baseline]["best_value"]
             result.rows.append(
                 {
-                    "objective": objective,
+                    "objective": group.objective,
                     "baseline": baseline,
                     "baseline_value": base,
                     "ceal_value": ceal,

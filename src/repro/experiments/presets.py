@@ -1,17 +1,51 @@
-"""Per-experiment algorithm hyper-parameters.
+"""Per-experiment algorithm hyper-parameters and declarative algorithm specs.
 
 The paper adjusts the hyper-parameters of GEIST, AL, ALpH and CEAL per
 setting "and select[s] the best settings for each algorithm" (§7.3).
 This module records the settings our own tuning pass selected, so every
 figure driver uses the same ones and the choices are documented in one
 place.
+
+It also owns the *declarative* algorithm layer of the suite engine
+(:mod:`repro.experiments.suite`): an :class:`AlgorithmFactor` names an
+algorithm by registry ``kind`` plus plain-data ``params`` — hashable
+into a suite cell's content key and loadable from a TOML/JSON suite
+spec — and :func:`resolve_algorithm` turns it back into the
+:class:`~repro.experiments.runner.AlgorithmSpec` the trial runner
+executes.  The classic spec tuples the figure drivers share
+(:func:`no_history_specs` / :func:`history_specs`) live here too, built
+through the same registry so the declarative and direct paths cannot
+drift apart.
 """
 
 from __future__ import annotations
 
-from repro.core.ceal import CealSettings
+from dataclasses import asdict, dataclass
 
-__all__ = ["ceal_settings_for"]
+from repro.core.algorithms import (
+    ActiveLearning,
+    Alph,
+    BayesianOptimization,
+    Geist,
+    LowFidelityOnly,
+    RandomSampling,
+    RegionBandit,
+)
+from repro.core.ceal import Ceal, CealSettings
+from repro.experiments.runner import AlgorithmSpec
+
+__all__ = [
+    "ALGORITHM_KINDS",
+    "AlgorithmFactor",
+    "ceal_factor",
+    "ceal_settings_for",
+    "factor_from_ceal_settings",
+    "history_factors",
+    "history_specs",
+    "no_history_factors",
+    "no_history_specs",
+    "resolve_algorithm",
+]
 
 #: Tuned CEAL settings without historical measurements, keyed by
 #: (workflow, small-budget?).  ``None`` entries fall back to the global
@@ -37,3 +71,186 @@ def ceal_settings_for(
     if preset is None:
         return CealSettings(use_history=False)
     return CealSettings(use_history=False, **preset)
+
+
+# -- declarative algorithm factors ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AlgorithmFactor:
+    """One algorithm level of a suite factor, as plain data.
+
+    ``name`` is the display name — it also feeds
+    :func:`~repro.experiments.runner.trial_seed`, so two factors with
+    the same name draw the same per-repeat random streams (exactly like
+    the :class:`~repro.experiments.runner.AlgorithmSpec` it resolves
+    to).  ``params`` is a sorted tuple of ``(key, value)`` pairs of
+    JSON-representable values, making the factor hashable, comparable,
+    and serialisable into a suite cell's content key.
+    """
+
+    name: str
+    kind: str
+    params: tuple = ()
+
+    @classmethod
+    def make(cls, name: str, kind: str, **params) -> "AlgorithmFactor":
+        if kind not in ALGORITHM_KINDS:
+            raise ValueError(
+                f"unknown algorithm kind {kind!r}; expected one of "
+                f"{sorted(ALGORITHM_KINDS)}"
+            )
+        return cls(name=name, kind=kind, params=tuple(sorted(params.items())))
+
+    def param_dict(self) -> dict:
+        return dict(self.params)
+
+    def identity(self) -> dict:
+        """JSON-stable identity for content hashing."""
+        return {"name": self.name, "kind": self.kind,
+                "params": [list(p) for p in self.params]}
+
+
+def _make_ceal(factor: AlgorithmFactor, workflow_name, budget) -> AlgorithmSpec:
+    """CEAL factors: explicit :class:`CealSettings` kwargs, or the tuned
+    per-cell preset when ``preset=True`` (requires the resolution
+    context to supply workflow and budget)."""
+    params = factor.param_dict()
+    use_history = bool(params.pop("use_history", False))
+    if params.pop("preset", False):
+        if params:
+            raise ValueError(
+                f"CEAL factor {factor.name!r}: preset=True does not combine "
+                f"with explicit settings {sorted(params)}"
+            )
+        if workflow_name is None or budget is None:
+            raise ValueError(
+                f"CEAL factor {factor.name!r} uses preset=True, which needs "
+                "a (workflow, budget) resolution context"
+            )
+        settings = ceal_settings_for(workflow_name, budget, use_history)
+    else:
+        settings = CealSettings(use_history=use_history, **params)
+    return AlgorithmSpec(
+        factor.name,
+        lambda settings=settings: Ceal(settings),
+        needs_history=use_history,
+    )
+
+
+def _make_simple(cls):
+    def build(factor: AlgorithmFactor, workflow_name, budget) -> AlgorithmSpec:
+        params = factor.param_dict()
+        return AlgorithmSpec(
+            factor.name, lambda params=params: cls(**params),
+            needs_history=bool(params.get("use_history", False)),
+        )
+
+    return build
+
+
+#: Registry of declarative algorithm kinds (the CLI's ``--algorithm``
+#: names plus the extended catalog).  Values build an ``AlgorithmSpec``
+#: from ``(factor, workflow_name, budget)``.
+ALGORITHM_KINDS: dict = {
+    "rs": _make_simple(RandomSampling),
+    "geist": _make_simple(Geist),
+    "al": _make_simple(ActiveLearning),
+    "ceal": _make_ceal,
+    "alph": _make_simple(Alph),
+    "bandit": _make_simple(RegionBandit),
+    "bo": _make_simple(BayesianOptimization),
+    "ceal-bo": lambda factor, w, b: AlgorithmSpec(
+        factor.name,
+        lambda params=factor.param_dict(): BayesianOptimization(
+            bootstrap=True, **params
+        ),
+    ),
+    "lowfid": _make_simple(LowFidelityOnly),
+}
+
+
+def resolve_algorithm(
+    factor: AlgorithmFactor,
+    workflow_name: str | None = None,
+    budget: int | None = None,
+) -> AlgorithmSpec:
+    """Resolve a declarative factor into an executable algorithm spec.
+
+    ``workflow_name`` and ``budget`` are the resolution context for
+    per-cell presets (a CEAL factor with ``preset=True`` selects
+    :func:`ceal_settings_for` of its cell).
+    """
+    try:
+        build = ALGORITHM_KINDS[factor.kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown algorithm kind {factor.kind!r}; expected one of "
+            f"{sorted(ALGORITHM_KINDS)}"
+        ) from None
+    return build(factor, workflow_name, budget)
+
+
+def ceal_factor(
+    name: str = "CEAL", *, preset: bool = False, **settings
+) -> AlgorithmFactor:
+    """A CEAL factor from explicit settings or the per-cell preset."""
+    if preset:
+        return AlgorithmFactor.make(
+            name, "ceal", preset=True,
+            use_history=bool(settings.pop("use_history", False)),
+        )
+    return AlgorithmFactor.make(name, "ceal", **settings)
+
+
+def factor_from_ceal_settings(
+    name: str, settings: CealSettings
+) -> AlgorithmFactor:
+    """Lift a concrete :class:`CealSettings` into a declarative factor.
+
+    Every field is carried (including defaults), so resolving the
+    factor reconstructs ``settings`` exactly — the sensitivity sweeps
+    rely on this to route arbitrary settings through the suite engine.
+    """
+    return AlgorithmFactor.make(name, "ceal", **asdict(settings))
+
+
+# -- the figure drivers' shared comparison sets --------------------------------------
+
+
+def no_history_factors() -> tuple[AlgorithmFactor, ...]:
+    """§7.4 comparison set without histories: RS, GEIST, AL, CEAL.
+
+    The CEAL member uses ``preset=True``: its tuned settings are
+    selected per cell from :func:`ceal_settings_for` at resolution
+    time, exactly as the legacy per-figure helpers did.
+    """
+    return (
+        AlgorithmFactor.make("RS", "rs"),
+        AlgorithmFactor.make("GEIST", "geist"),
+        AlgorithmFactor.make("AL", "al"),
+        ceal_factor("CEAL", preset=True, use_history=False),
+    )
+
+
+def history_factors() -> tuple[AlgorithmFactor, ...]:
+    """§7.5 comparison set with histories: CEAL vs ALpH."""
+    return (
+        AlgorithmFactor.make("CEAL", "ceal", use_history=True),
+        AlgorithmFactor.make("ALpH", "alph", use_history=True),
+    )
+
+
+def no_history_specs(
+    workflow_name: str, budget: int
+) -> tuple[AlgorithmSpec, ...]:
+    """Executable form of :func:`no_history_factors` for one cell."""
+    return tuple(
+        resolve_algorithm(f, workflow_name, budget)
+        for f in no_history_factors()
+    )
+
+
+def history_specs() -> tuple[AlgorithmSpec, ...]:
+    """Executable form of :func:`history_factors`."""
+    return tuple(resolve_algorithm(f) for f in history_factors())

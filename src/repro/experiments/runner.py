@@ -50,6 +50,7 @@ __all__ = [
     "AlgorithmSpec",
     "SUMMARY_PERCENTILES",
     "TrialMetrics",
+    "build_trial_context",
     "default_algorithms",
     "fanout",
     "hash_name",
@@ -379,6 +380,53 @@ def run_trials(
     workers write to the same database under WAL concurrency.
     ``warm_start`` forwards to every trial's problem.
     """
+    tasks = [
+        (spec, rep, trial_seed(pool_seed, spec.name, rep))
+        for spec in algorithms
+        for rep in range(repeats)
+    ]
+    ctx = build_trial_context(
+        workflow,
+        objective,
+        budget=budget,
+        tasks=tasks,
+        pool_size=pool_size,
+        pool_seed=pool_seed,
+        noise_sigma=noise_sigma,
+        history_size=history_size,
+        recall_max_n=recall_max_n,
+        failure_rate=failure_rate,
+        store=store,
+        warm_start=warm_start,
+    )
+    return fanout(_run_one_trial, ctx, len(tasks), jobs)
+
+
+def build_trial_context(
+    workflow: WorkflowDefinition | str,
+    objective: Objective | str,
+    *,
+    budget: int,
+    tasks: Sequence[tuple],
+    pool_size: int = 2000,
+    pool_seed: int = 2021,
+    noise_sigma: float = 0.05,
+    history_size: int = 500,
+    recall_max_n: int = 10,
+    failure_rate: float = 0.0,
+    store: object | None = None,
+    warm_start: str = "off",
+) -> _TrialContext:
+    """Materialise the shared state of one trial batch.
+
+    Generates (or recalls from the memo/disk cache) the measured pool
+    and component histories, resolves names to objects, and packages
+    everything a :func:`fanout` worker needs.  ``tasks`` is the serial
+    ``(spec, rep, seed)`` list; :func:`run_trials` derives it from its
+    algorithm grid, while the suite engine
+    (:mod:`repro.experiments.suite`) passes only the *pending* cells of
+    a resumed matrix.
+    """
     if isinstance(workflow, str):
         workflow = make_workflow(workflow)
     if store is not None:
@@ -401,12 +449,7 @@ def run_trials(
                 noise_sigma=noise_sigma,
             )
 
-    tasks = [
-        (spec, rep, trial_seed(pool_seed, spec.name, rep))
-        for spec in algorithms
-        for rep in range(repeats)
-    ]
-    ctx = _TrialContext(
+    return _TrialContext(
         workflow=workflow,
         objective=objective,
         pool=pool,
@@ -416,11 +459,10 @@ def run_trials(
         budget=budget,
         failure_rate=failure_rate,
         recall_max_n=recall_max_n,
-        tasks=tasks,
+        tasks=list(tasks),
         store=store,
         warm_start=warm_start,
     )
-    return fanout(_run_one_trial, ctx, len(tasks), jobs)
 
 
 #: Tail-latency percentiles reported by :func:`summarize`.

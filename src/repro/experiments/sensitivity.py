@@ -7,54 +7,54 @@ component-sample share ``m_R/m`` are varied — each with and without free
 historical measurements (panel (c) only applies without, since with
 histories ``m_R = 0``).
 
-Sweep cells are independent trials, so :func:`sweep_ceal` fans
-(setting, repeat) pairs out through the same worker-process machinery
-as :func:`repro.experiments.runner.run_trials`; per-cell seeds keep the
-historical ``seed + 37·rep`` derivation (shared across settings), so
-results are identical to the serial sweep.
+Each sweep is one suite group whose algorithm factors are the settings
+under test (lifted into declarative form by
+:func:`~repro.experiments.presets.factor_from_ceal_settings`), executed
+through :func:`~repro.experiments.suite.run_suite` with the
+``"sweep"`` seed scheme: per-cell seeds keep the historical
+``seed + 37·rep`` derivation, *shared* across settings, so every
+setting is evaluated on identical random draws and results are
+identical to the pre-engine serial sweep.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
-from repro.core.ceal import Ceal, CealSettings
+from repro.core.ceal import CealSettings
 from repro.core.objectives import get_objective
-from repro.core.problem import TuningProblem
 from repro.experiments.figures import FigureResult
-from repro.experiments.runner import fanout
-from repro.workflows.catalog import make_workflow
-from repro.workflows.pools import generate_component_history, generate_pool
+from repro.experiments.presets import factor_from_ceal_settings
+from repro.experiments.suite import SuiteGroup, SuiteSpec, run_suite
 
-__all__ = ["fig13_sensitivity", "sweep_ceal"]
-
-
-@dataclass
-class _SweepContext:
-    """Shared state of one sweep, inherited by forked workers."""
-
-    workflow: object
-    objective: object
-    pool: object
-    histories: dict
-    budget: int
-    tasks: list  # (settings_index, settings, seed) per trial
+__all__ = ["fig13_sensitivity", "sweep_ceal", "sweep_spec"]
 
 
-def _run_one_sweep_cell(ctx: _SweepContext, index: int) -> float:
-    _, settings, seed = ctx.tasks[index]
-    problem = TuningProblem.create(
-        workflow=ctx.workflow,
-        objective=ctx.objective,
-        pool=ctx.pool,
-        budget_runs=ctx.budget,
-        seed=seed,
-        histories=ctx.histories,
+def sweep_spec(
+    settings_list: list[tuple[str, CealSettings]],
+    workflow_name: str = "LV",
+    objective_name: str = "computer_time",
+    budget: int = 50,
+    repeats: int = 10,
+    pool_size: int = 1000,
+    seed: int = 2021,
+) -> SuiteSpec:
+    """One sweep as a single-group suite spec (``sweep`` seed scheme)."""
+    factors = tuple(
+        factor_from_ceal_settings(name, settings)
+        for name, settings in settings_list
     )
-    result = Ceal(settings).tune(problem)
-    return result.best_actual_value(ctx.pool)
+    group = SuiteGroup(
+        workflow=workflow_name,
+        objective=objective_name,
+        budget=budget,
+        algorithms=factors,
+        repeats=repeats,
+        pool_size=pool_size,
+        pool_seed=seed,
+        seed_scheme="sweep",
+    )
+    return SuiteSpec(name="sweep_ceal", groups=(group,))
 
 
 def sweep_ceal(
@@ -66,33 +66,19 @@ def sweep_ceal(
     pool_size: int = 1000,
     seed: int = 2021,
     jobs: int | str | None = None,
+    store=None,
 ) -> list[dict]:
     """Mean best-configuration value of CEAL across settings."""
-    workflow = make_workflow(workflow_name)
-    objective = get_objective(objective_name)
-    pool = generate_pool(workflow, pool_size, seed=seed)
-    histories = {
-        label: generate_component_history(workflow, label, seed=seed)
-        for label in workflow.labels
-        if workflow.app(label).space.size() > 1
-    }
-    tasks = [
-        (i, settings, seed + 37 * rep)
-        for i, (_, settings) in enumerate(settings_list)
-        for rep in range(repeats)
-    ]
-    ctx = _SweepContext(
-        workflow=workflow,
-        objective=objective,
-        pool=pool,
-        histories=histories,
-        budget=budget,
-        tasks=tasks,
+    spec = sweep_spec(
+        settings_list, workflow_name, objective_name, budget, repeats,
+        pool_size, seed,
     )
-    values = fanout(_run_one_sweep_cell, ctx, len(tasks), jobs)
+    outcome = run_suite(spec, jobs=jobs, store=store)
+    objective = get_objective(objective_name)
+    trials = outcome.group_trials(0)
     rows = []
-    for i, (name, _) in enumerate(settings_list):
-        cell = [v for (j, _, _), v in zip(tasks, values) if j == i]
+    for name, _ in settings_list:
+        cell = [t.best_value for t in trials if t.algorithm == name]
         rows.append(
             {
                 "setting": name,
@@ -112,6 +98,7 @@ def fig13_sensitivity(
     m0_grid: tuple = (0.05, 0.10, 0.15, 0.25, 0.35),
     mr_grid: tuple = (0.15, 0.30, 0.50, 0.65, 0.80),
     jobs: int | str | None = None,
+    store=None,
 ) -> FigureResult:
     """The three Fig. 13 panels on LV computer time, 50 samples."""
     result = FigureResult(
@@ -128,7 +115,8 @@ def fig13_sensitivity(
             for i in iteration_grid
         ]
         for row in sweep_ceal(
-            sweeps, repeats=repeats, pool_size=pool_size, seed=seed, jobs=jobs
+            sweeps, repeats=repeats, pool_size=pool_size, seed=seed, jobs=jobs,
+            store=store,
         ):
             row["panel"] = "a:iterations"
             result.rows.append(row)
@@ -143,7 +131,8 @@ def fig13_sensitivity(
             for frac in m0_grid
         ]
         for row in sweep_ceal(
-            sweeps, repeats=repeats, pool_size=pool_size, seed=seed, jobs=jobs
+            sweeps, repeats=repeats, pool_size=pool_size, seed=seed, jobs=jobs,
+            store=store,
         ):
             row["panel"] = "b:random_fraction"
             result.rows.append(row)
@@ -156,7 +145,8 @@ def fig13_sensitivity(
         for frac in mr_grid
     ]
     for row in sweep_ceal(
-        sweeps, repeats=repeats, pool_size=pool_size, seed=seed, jobs=jobs
+        sweeps, repeats=repeats, pool_size=pool_size, seed=seed, jobs=jobs,
+        store=store,
     ):
         row["panel"] = "c:component_fraction"
         result.rows.append(row)

@@ -84,8 +84,8 @@ class _SweepPlan:
     """Topology of one workflow, indexed for the recurrence.
 
     ``order`` is a topological order of the component labels, so a
-    consumer's step-``i`` gets always see its producers' step-``i``
-    put-grant times from earlier in the same sweep iteration.  Coupling
+    consumer's step-``i`` get always sees its producers' step-``i``
+    put-grant times, written earlier in the same sweep iteration.  Coupling
     indices refer to ``workflow.couplings`` and preserve the
     ``inputs_of``/``outputs_of`` iteration order of the DES processes.
     """

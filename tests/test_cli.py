@@ -1,7 +1,9 @@
 """Tests for the command-line interface."""
 
+import importlib.util
 import io
 import json
+from pathlib import Path
 
 import pytest
 
@@ -53,6 +55,27 @@ class TestParser:
             ["store", "gc", "runs.db", "--keep-sessions", "2"]
         )
         assert args.keep_sessions == 2
+
+    def test_suite_subcommand(self):
+        args = build_parser().parse_args(
+            [
+                "suite", "run", "spec.toml",
+                "--store", "runs.db",
+                "--jobs", "auto",
+                "--max-cells", "3",
+                "--report", "out.json",
+            ]
+        )
+        assert args.action == "run"
+        assert args.spec == "spec.toml"
+        assert args.store == "runs.db"
+        assert args.jobs == "auto"
+        assert args.max_cells == 3
+        assert args.report_path == "out.json"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["suite", "retry", "spec.toml"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["suite", "run"])
 
 
 class TestTuneCommand:
@@ -138,6 +161,125 @@ class TestStoreWorkflow:
     def test_store_missing_file_errors(self, tmp_path):
         code = main(
             ["store", "stats", str(tmp_path / "nope.db")], out=io.StringIO()
+        )
+        assert code == 2
+
+
+needs_toml = pytest.mark.skipif(
+    importlib.util.find_spec("tomllib") is None
+    and importlib.util.find_spec("tomli") is None,
+    reason="no TOML parser on this Python (3.10 without tomli)",
+)
+
+
+class TestSuiteCommand:
+    TOML_SPEC = str(
+        Path(__file__).parent.parent / "examples" / "suites" / "smoke.toml"
+    )
+
+    # The committed smoke.toml as JSON (specs are format-agnostic), so
+    # the CLI flow tests run on Python 3.10 where tomllib is missing.
+    SMOKE = {
+        "suite": {
+            "name": "smoke", "repeats": 2, "pool_size": 150,
+            "pool_seeds": [7],
+        },
+        "factors": {
+            "workflows": ["LV"],
+            "objectives": ["execution_time"],
+            "budgets": [8],
+        },
+        "algorithms": [
+            {"name": "RS", "kind": "rs"},
+            {"name": "CEAL", "kind": "ceal", "params": {"use_history": True}},
+        ],
+    }
+
+    @pytest.fixture()
+    def spec_path(self, tmp_path):
+        path = tmp_path / "smoke.json"
+        path.write_text(json.dumps(self.SMOKE))
+        return str(path)
+
+    @needs_toml
+    def test_committed_toml_example_runs(self, tmp_path):
+        db = str(tmp_path / "suite.db")
+        out = io.StringIO()
+        code = main(["suite", "run", self.TOML_SPEC, "--store", db], out=out)
+        assert code == 0
+        assert json.loads(out.getvalue())["suite"] == "smoke"
+
+    def test_run_then_resume_from_store(self, spec_path, tmp_path):
+        db = str(tmp_path / "suite.db")
+        report_path = tmp_path / "report.json"
+
+        out = io.StringIO()
+        code = main(
+            [
+                "suite", "run", spec_path,
+                "--store", db,
+                "--report", str(report_path),
+            ],
+            out=out,
+        )
+        assert code == 0
+        report = json.loads(out.getvalue())
+        assert report["schema_version"] == 1
+        assert report["suite"] == "smoke"
+        assert report["cells"] == 4
+        assert json.loads(report_path.read_text()) == report
+
+        # Everything cached now: resume re-reports identical bytes.
+        out = io.StringIO()
+        assert main(["suite", "resume", spec_path, "--store", db], out=out) == 0
+        assert json.loads(out.getvalue()) == report
+
+        out = io.StringIO()
+        assert main(["suite", "report", spec_path, "--store", db], out=out) == 0
+        assert json.loads(out.getvalue()) == report
+
+    def test_partial_run_warns_then_completes(self, spec_path, tmp_path):
+        db = str(tmp_path / "suite.db")
+        out = io.StringIO()
+        code = main(
+            ["suite", "run", spec_path, "--store", db, "--max-cells", "1"],
+            out=out,
+        )
+        assert code == 0
+        assert out.getvalue() == ""  # incomplete → no report on stdout
+
+        # 'report' refuses while cells are pending...
+        assert main(
+            ["suite", "report", spec_path, "--store", db], out=io.StringIO()
+        ) == 2
+        # ...and 'resume' finishes the matrix.
+        out = io.StringIO()
+        assert main(["suite", "resume", spec_path, "--store", db], out=out) == 0
+        assert json.loads(out.getvalue())["cells"] == 4
+
+    def test_resume_and_report_require_store(self):
+        # Store validation precedes spec loading, so a dummy path is fine.
+        assert main(["suite", "resume", "spec.toml"], out=io.StringIO()) == 2
+        assert main(["suite", "report", "spec.toml"], out=io.StringIO()) == 2
+
+    def test_report_requires_existing_store(self, tmp_path):
+        code = main(
+            ["suite", "report", "spec.toml", "--store", str(tmp_path / "no.db")],
+            out=io.StringIO(),
+        )
+        assert code == 2
+
+    def test_record_measurements_requires_store(self):
+        code = main(
+            ["suite", "run", "spec.toml", "--record-measurements"],
+            out=io.StringIO(),
+        )
+        assert code == 2
+
+    def test_bad_spec_path_errors(self, tmp_path):
+        code = main(
+            ["suite", "run", str(tmp_path / "missing.toml")],
+            out=io.StringIO(),
         )
         assert code == 2
 
