@@ -2,6 +2,12 @@
 
 Paper shape: CEAL's recall curves dominate RS/GEIST/AL on the studied
 cases; RS's top-1 recall is near zero.
+
+The benchmark runs through the declarative suite engine against a
+shared :class:`~repro.store.db.MeasurementStore`: the timed pass
+persists every cell, and a follow-up :func:`run_suite` of the *same*
+``fig07_spec`` proves end-to-end resume — zero cells re-execute and the
+report is assembled purely from cached rows.
 """
 
 import numpy as np
@@ -9,12 +15,20 @@ import pytest
 from conftest import emit, mean_by
 
 from repro.experiments import fig07_recall
+from repro.experiments.figures import fig07_spec
+from repro.experiments.suite import run_suite
 
 pytestmark = pytest.mark.slow
 
 
-def test_fig07_recall(benchmark, scale):
-    result = benchmark.pedantic(fig07_recall, kwargs=scale, rounds=1, iterations=1)
+def test_fig07_recall(benchmark, scale, tmp_path):
+    store = tmp_path / "fig07.db"
+    result = benchmark.pedantic(
+        fig07_recall,
+        kwargs={**scale, "store": str(store)},
+        rounds=1,
+        iterations=1,
+    )
     emit(result)
 
     means = mean_by(result.rows, ("algorithm",), "recall_pct")
@@ -28,3 +42,11 @@ def test_fig07_recall(benchmark, scale):
         if r["algorithm"] == "RS" and r["top_n"] == 1
     ]
     assert np.mean(rs_top1) < 35.0
+
+    # Resume proof: re-running the same spec against the same store
+    # executes nothing — every cell is served from its content-hash row.
+    spec = fig07_spec(scale["repeats"], scale["pool_size"], scale["seed"])
+    resumed = run_suite(spec, store=str(store))
+    assert resumed.cells_run == 0
+    assert resumed.cells_cached == len(resumed.cells)
+    assert resumed.complete

@@ -1,11 +1,12 @@
 """Command-line interface.
 
-Four subcommands::
+Five subcommands::
 
     python -m repro tune --workflow LV --objective computer_time --budget 50
     python -m repro reproduce --target fig05 --repeats 10 --pool 1000
     python -m repro suite run examples/suites/smoke.toml --store runs.db
     python -m repro store stats runs.db
+    python -m repro telemetry diff runs.db --baseline main
 
 ``tune`` runs the auto-tuner once and prints the recommendation;
 ``reproduce`` regenerates one of the paper's tables/figures and prints
@@ -18,7 +19,12 @@ the ``repro`` logger (``-v`` for progress + telemetry summary, ``-vv``
 for debug, ``-q`` for errors only), so piping stdout stays clean.  Both
 subcommands accept ``--telemetry PATH`` (with ``--telemetry-format
 {chrome,jsonl}``) to record spans and metrics of the run — the chrome
-format loads directly in Perfetto / ``chrome://tracing``.
+format loads directly in Perfetto / ``chrome://tracing`` — plus
+``--telemetry-store PATH`` to persist an end-of-run snapshot into a
+measurement store for cross-run history, and ``--progress`` for live
+heartbeats on stderr.  ``telemetry`` queries that history: ``report``
+prints one run, ``diff`` gates on p50/p90 self-time regressions
+(non-zero exit — the CI hook), ``baseline`` names a run durably.
 """
 
 from __future__ import annotations
@@ -78,6 +84,20 @@ def _add_common_flags(parser: argparse.ArgumentParser) -> None:
         help="trace file format: 'chrome' loads in Perfetto/"
         "chrome://tracing, 'jsonl' streams one JSON object per line "
         "(default: chrome)")
+    parser.add_argument(
+        "--telemetry-store", metavar="PATH", default=None,
+        help="persist an end-of-run telemetry snapshot (per-span self "
+        "times, counters, provenance) into this measurement store for "
+        "cross-run history and 'repro telemetry diff'")
+    parser.add_argument(
+        "--telemetry-label", metavar="NAME", default=None,
+        help="label the persisted run (with --telemetry-store) so it "
+        "can be referenced by name instead of run key")
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="live progress heartbeats on stderr: an in-place dashboard "
+        "on a TTY, one JSON line per heartbeat otherwise; observe-only "
+        "(results are bit-identical either way)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -180,6 +200,50 @@ def build_parser() -> argparse.ArgumentParser:
         "--record-measurements", action="store_true",
         help="additionally write every paid trial measurement through "
         "to --store's measurement tables")
+    suite.add_argument(
+        "--chart", action="store_true",
+        help="also render an ASCII chart of the report: per-algorithm "
+        "confidence-interval bars and significance calls")
+
+    tel = sub.add_parser(
+        "telemetry", help="query persisted telemetry history"
+    )
+    _add_common_flags(tel)
+    tel.add_argument(
+        "action", choices=("report", "diff", "baseline"),
+        help="'report' prints one run's top self-time spans and "
+        "metrics; 'diff' compares a run against --baseline and exits "
+        "non-zero on a p50/p90 self-time regression beyond --threshold "
+        "(the CI gate); 'baseline' durably names a run via --name")
+    tel.add_argument(
+        "store", nargs="?", default=None,
+        help="measurement store holding persisted runs (written by "
+        "--telemetry-store); optional with --floors")
+    tel.add_argument(
+        "run", nargs="?", default=None,
+        help="run reference: run key, label, numeric id, or a baseline "
+        "name (default: the newest run)")
+    tel.add_argument(
+        "--baseline", metavar="REF", default=None,
+        help="diff: the reference run to compare against (run key, "
+        "label, id, or baseline name)")
+    tel.add_argument(
+        "--name", metavar="NAME", default="baseline",
+        help="baseline: the durable name to give the run "
+        "(default: 'baseline')")
+    tel.add_argument(
+        "--threshold", type=float, default=None, metavar="FRAC",
+        help="diff: flag spans whose p50/p90 self time grew by more "
+        "than FRAC (default: 0.20)")
+    tel.add_argument(
+        "--top", type=int, default=None, metavar="N",
+        help="number of top self-time spans to report/watch "
+        "(default: 10 for diff, 15 for report)")
+    tel.add_argument(
+        "--floors", nargs="+", metavar="PATH", default=None,
+        help="check committed benchmark floors (BENCH_*.json) instead "
+        "of store runs; exits non-zero when any speedup is below its "
+        "floor")
     return parser
 
 
@@ -206,29 +270,57 @@ def _setup_logging(verbose: int, quiet: bool) -> None:
 
 
 def _make_hub(args):
-    """A telemetry hub per the CLI flags (``None`` when not requested)."""
-    if not args.telemetry:
+    """A telemetry hub per the CLI flags (``None`` when not requested).
+
+    Either ``--telemetry`` (a trace file) or ``--telemetry-store`` (a
+    persisted history snapshot) is enough to install a live hub.
+    """
+    if not (args.telemetry or args.telemetry_store):
         return None
     from repro.telemetry import JsonlSink, Telemetry
 
     sinks = (
         [JsonlSink(args.telemetry)]
-        if args.telemetry_format == "jsonl"
+        if args.telemetry and args.telemetry_format == "jsonl"
         else []
     )
     return Telemetry(sinks=sinks)
 
 
+def _make_progress(args):
+    """A progress sink per ``--progress`` (``None`` when not requested)."""
+    if not getattr(args, "progress", False):
+        return None
+    from repro.telemetry.progress import make_sink
+
+    return make_sink(sys.stderr)
+
+
 def _finish_telemetry(hub, args) -> None:
-    """Write/close the trace file and log the summary under ``-v``."""
+    """Write the trace, persist the run snapshot, log the summary."""
     from repro import telemetry
 
-    if args.telemetry_format == "chrome":
-        telemetry.write_chrome_trace(args.telemetry, hub)
+    if args.telemetry:
+        if args.telemetry_format == "chrome":
+            telemetry.write_chrome_trace(args.telemetry, hub)
+        log.info(
+            "telemetry written to %s (%s)",
+            args.telemetry, args.telemetry_format,
+        )
+    if args.telemetry_store:
+        from repro.telemetry.persist import flush_run
+
+        run_key = flush_run(
+            args.telemetry_store,
+            hub,
+            label=args.telemetry_label or "",
+            session=args.command,
+        )
+        log.info(
+            "telemetry run %s persisted to %s",
+            run_key, args.telemetry_store,
+        )
     hub.close()
-    log.info(
-        "telemetry written to %s (%s)", args.telemetry, args.telemetry_format
-    )
     if log.isEnabledFor(logging.INFO):
         for line in telemetry.summarize(hub).splitlines():
             log.info("%s", line)
@@ -438,6 +530,11 @@ def _cmd_suite(args, out) -> int:
         return 0
     text = json.dumps(report, indent=2, sort_keys=True)
     print(text, file=out)
+    if args.chart:
+        from repro.experiments.viz import render_report
+
+        print(file=out)
+        print(render_report(report), file=out)
     if args.report_path:
         with open(args.report_path, "w") as fh:
             fh.write(text + "\n")
@@ -445,22 +542,91 @@ def _cmd_suite(args, out) -> int:
     return 0
 
 
+def _cmd_telemetry(args, out) -> int:
+    import os
+
+    from repro.telemetry import regress
+
+    if args.floors:
+        report = regress.check_floors(args.floors)
+        print(regress.render_floors(report), file=out)
+        return 0 if report["ok"] else 1
+    if not args.store:
+        log.error("telemetry %s requires a store database path", args.action)
+        return 2
+    if not os.path.exists(args.store):
+        log.error("store database %s does not exist", args.store)
+        return 2
+    from repro.store import MeasurementStore
+
+    store = MeasurementStore(args.store)
+    try:
+        if args.action == "baseline":
+            try:
+                marker = regress.set_baseline(store, args.name, args.run)
+            except LookupError as exc:
+                log.error("%s", exc)
+                return 2
+            print(f"baseline {args.name} = {marker['run_key']}", file=out)
+            return 0
+        try:
+            current = regress.load_run(store, args.run)
+        except LookupError as exc:
+            log.error("%s", exc)
+            return 2
+        if args.action == "report":
+            print(
+                regress.render_run(current, top=args.top or 15), file=out
+            )
+            return 0
+        if args.baseline is None:
+            log.error("telemetry diff requires --baseline REF")
+            return 2
+        try:
+            baseline = regress.load_run(store, args.baseline)
+        except LookupError as exc:
+            log.error("%s", exc)
+            return 2
+        report = regress.diff_runs(
+            baseline,
+            current,
+            threshold=(
+                regress.DEFAULT_THRESHOLD
+                if args.threshold is None
+                else args.threshold
+            ),
+            top=args.top or regress.DEFAULT_TOP,
+        )
+        print(regress.render_diff(report), file=out)
+        return 0 if report["ok"] else 1
+    finally:
+        store.close()
+
+
 def main(argv: list[str] | None = None, out=None) -> int:
     """CLI entry point; returns a process exit code."""
+    import contextlib
+
     out = out or sys.stdout
     args = build_parser().parse_args(argv)
     _setup_logging(args.verbose, args.quiet)
     hub = _make_hub(args)
-    try:
+    sink = _make_progress(args)
+    with contextlib.ExitStack() as stack:
         if hub is not None:
             from repro import telemetry
 
-            with telemetry.use(hub):
-                return _dispatch(args, out)
-        return _dispatch(args, out)
-    finally:
-        if hub is not None:
-            _finish_telemetry(hub, args)
+            stack.enter_context(telemetry.use(hub))
+        if sink is not None:
+            from repro.telemetry import progress
+
+            stack.enter_context(progress.use(sink))
+            stack.callback(sink.close)
+        try:
+            return _dispatch(args, out)
+        finally:
+            if hub is not None:
+                _finish_telemetry(hub, args)
 
 
 def _dispatch(args, out) -> int:
@@ -472,6 +638,8 @@ def _dispatch(args, out) -> int:
         return _cmd_store(args, out)
     if args.command == "suite":
         return _cmd_suite(args, out)
+    if args.command == "telemetry":
+        return _cmd_telemetry(args, out)
     raise AssertionError("unreachable")
 
 

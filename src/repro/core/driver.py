@@ -39,6 +39,7 @@ import numpy as np
 from repro import telemetry
 from repro.config.space import Configuration
 from repro.core.problem import AutotuneResult, TuningProblem
+from repro.telemetry import progress
 
 __all__ = [
     "CHECKPOINT_VERSION",
@@ -574,6 +575,7 @@ class TuningDriver:
                     cycle_span.set(**_event_attributes(event))
                     tel.counter("driver.cycles").inc()
                     tel.histogram("fit_seconds").observe(event.fit_seconds)
+            self._heartbeat(strategy, session)
             self._save(session, strategy)
             cycles += 1
 
@@ -586,6 +588,30 @@ class TuningDriver:
         self._save(session, strategy, completed=True)
         return AutotuneResult.from_collector(
             strategy.name, problem, model, trace=session.events
+        )
+
+    @staticmethod
+    def _heartbeat(strategy: SearchStrategy, session: TuningSession) -> None:
+        """Report one finished cycle to the live progress sink.
+
+        Observe-only: reads collector accounting and the measured set,
+        never touches random state — results are bit-identical with
+        progress enabled or disabled.
+        """
+        sink = progress.get()
+        if not sink.enabled:
+            return
+        collector = session.collector
+        measured = collector.measured
+        budget = collector.budget_runs
+        sink.driver_cycle(
+            algorithm=strategy.name,
+            workflow=session.problem.workflow.name,
+            iteration=session.iteration,
+            runs_used=collector.runs_used,
+            budget=None if budget is None else int(budget),
+            best_value=min(measured.values()) if measured else None,
+            fit_seconds=session.fit_seconds_total,
         )
 
     # -- persistence ----------------------------------------------------------

@@ -195,7 +195,13 @@ def resolve_jobs(jobs: int | str | None = None) -> int:
     return int(jobs)
 
 
-def fanout(worker, context, n_tasks: int, jobs: int | str | None = None) -> list:
+def fanout(
+    worker,
+    context,
+    n_tasks: int,
+    jobs: int | str | None = None,
+    on_complete=None,
+) -> list:
     """Run ``worker(context, i)`` for ``i in range(n_tasks)``, maybe in parallel.
 
     Results are returned in index order regardless of completion order.
@@ -210,12 +216,18 @@ def fanout(worker, context, n_tasks: int, jobs: int | str | None = None) -> list
     worker id.  The merged telemetry is therefore identical across
     ``jobs`` settings in every non-timing field, and task results are
     bit-identical to a run without telemetry.
+
+    ``on_complete(index, result)`` — when given — is called in the
+    *parent* process as each task finishes, in completion order (not
+    index order).  It exists for observe-only consumers like the live
+    progress sink: results are already final when it fires, so nothing
+    it does can perturb them.
     """
     global _FANOUT_STATE
     tel = telemetry.get()
     n_jobs = min(resolve_jobs(jobs), n_tasks)
     if n_jobs <= 1 or _FANOUT_STATE is not None:
-        return _fanout_serial(worker, context, n_tasks, tel)
+        return _fanout_serial(worker, context, n_tasks, tel, on_complete)
     if "fork" not in multiprocessing.get_all_start_methods():
         warnings.warn(
             "repro: parallel trials need the 'fork' start method; "
@@ -223,7 +235,7 @@ def fanout(worker, context, n_tasks: int, jobs: int | str | None = None) -> list
             RuntimeWarning,
             stacklevel=2,
         )
-        return _fanout_serial(worker, context, n_tasks, tel)
+        return _fanout_serial(worker, context, n_tasks, tel, on_complete)
     _FANOUT_STATE = (worker, context, tel.enabled)
     try:
         mp = multiprocessing.get_context("fork")
@@ -235,6 +247,8 @@ def fanout(worker, context, n_tasks: int, jobs: int | str | None = None) -> list
             ):
                 results[index] = result
                 payloads[index] = payload
+                if on_complete is not None:
+                    on_complete(index, result)
     finally:
         _FANOUT_STATE = None
     # Merge after the pool drains, in task order: worker scheduling must
@@ -244,18 +258,26 @@ def fanout(worker, context, n_tasks: int, jobs: int | str | None = None) -> list
     return results
 
 
-def _fanout_serial(worker, context, n_tasks: int, tel) -> list:
+def _fanout_serial(worker, context, n_tasks: int, tel, on_complete=None) -> list:
     """Serial fan-out, with the same per-task capture as parallel runs.
 
     Inside a fan-out worker (nested call) the current hub already *is*
     the task's capture hub, so nested tasks record into it directly.
     """
     if not tel.enabled or _FANOUT_STATE is not None:
-        return [worker(context, i) for i in range(n_tasks)]
+        results = []
+        for index in range(n_tasks):
+            result = worker(context, index)
+            if on_complete is not None:
+                on_complete(index, result)
+            results.append(result)
+        return results
     results = []
     for index in range(n_tasks):
         result, payload = _run_captured(worker, context, index)
         tel.merge_worker(payload, worker=index)
+        if on_complete is not None:
+            on_complete(index, result)
         results.append(result)
     return results
 

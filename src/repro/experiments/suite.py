@@ -42,6 +42,7 @@ import numpy as np
 
 from repro import telemetry
 from repro.experiments import stats
+from repro.telemetry import progress
 from repro.experiments.presets import AlgorithmFactor, resolve_algorithm
 from repro.experiments.runner import (
     TrialMetrics,
@@ -403,12 +404,35 @@ def run_suite(
             )
             plan.append((gi, len(ctx.tasks)))
             ctx.tasks.append((spec_obj, cell.repeat, cell.seed))
+        sink = progress.get()
+        if sink.enabled:
+            # First heartbeat counts cache hits; later ones arrive from
+            # the parent-side fan-out callback as cells finish.
+            done_box = [cached]
+            sink.suite_cell(
+                suite=spec.name,
+                done=cached,
+                total=len(cells),
+                cached=cached,
+            )
+
+            def _on_cell_done(index, result) -> None:
+                done_box[0] += 1
+                sink.suite_cell(
+                    suite=spec.name,
+                    done=done_box[0],
+                    total=len(cells),
+                    cached=cached,
+                )
+        else:
+            _on_cell_done = None
         if pending:
             results = fanout(
                 _run_matrix_cell,
                 _MatrixContext(contexts=contexts, plan=plan),
                 len(pending),
                 jobs,
+                on_complete=_on_cell_done,
             )
             for i, metrics in zip(pending, results):
                 trials[i] = metrics

@@ -11,10 +11,33 @@ from __future__ import annotations
 
 from collections.abc import Mapping, Sequence
 
-__all__ = ["render_bars", "render_series", "render_figure"]
+__all__ = [
+    "render_bars",
+    "render_meter",
+    "render_report",
+    "render_series",
+    "render_figure",
+]
 
 _BLOCK = "█"
 _HALF = "▌"
+_MID = "▒"
+_LIGHT = "░"
+
+
+def render_meter(done: int, total: int | None, width: int = 24) -> str:
+    """A bracketed progress meter: ``[█████░░░] `` at ``done/total``.
+
+    Tolerates a missing or zero ``total`` (renders an indeterminate
+    meter) and clamps overshoot, so heartbeat callers never have to
+    guard their inputs.
+    """
+    width = max(1, int(width))
+    if not total or total <= 0:
+        return "[" + _LIGHT * width + "]"
+    frac = min(1.0, max(0.0, done / total))
+    filled = int(round(frac * width))
+    return "[" + _BLOCK * filled + _LIGHT * (width - filled) + "]"
 
 
 def render_bars(
@@ -117,6 +140,81 @@ def render_series(
     )
     legend = "  ".join(f"{letter}={name}" for name, letter in letters.items())
     lines.append(legend + "   (*=overlap)")
+    return "\n".join(lines)
+
+
+def _ci_bar(ci: Mapping, peak: float, width: int) -> str:
+    """One confidence-interval bar: solid to ``lo``, shaded to ``hi``.
+
+    ``█`` up to the interval's lower bound, ``▒`` from lo to the mean,
+    ``░`` from the mean to the upper bound — the shaded tail *is* the
+    uncertainty, read straight off the chart.
+    """
+    if peak <= 0:
+        peak = 1.0
+    lo = max(0.0, min(ci["lo"], ci["mean"], ci["hi"]))
+    hi = max(ci["lo"], ci["mean"], ci["hi"], 0.0)
+    mean = min(max(ci["mean"], lo), hi)
+    n_lo = int(lo / peak * width)
+    n_mean = int(mean / peak * width)
+    n_hi = int(hi / peak * width)
+    return (
+        _BLOCK * n_lo
+        + _MID * max(0, n_mean - n_lo)
+        + _LIGHT * max(0, n_hi - n_mean)
+    )
+
+
+def render_report(report: Mapping, width: int = 32, metric: str = "normalized") -> str:
+    """ASCII chart of a :meth:`SuiteResult.report` dict.
+
+    One block per suite group; one CI bar per algorithm showing the
+    bootstrap interval of ``metric`` (default: normalized best, where
+    1.0 is the pool optimum).  Pairwise significance calls from the
+    report's permutation tests are appended per group.
+    """
+    groups = report.get("groups") or []
+    if not groups:
+        return "(empty report)"
+    lines = [
+        f"suite {report.get('suite', '?')}: "
+        f"{report.get('cells', '?')} cells, "
+        f"{report.get('confidence', 0.95):.0%} CIs on {metric}"
+    ]
+    for group in groups:
+        lines.append("")
+        lines.append(
+            f"{group['workflow']} / {group['objective']} "
+            f"(budget {group['budget']}, {group['repeats']} repeats, "
+            f"pool seed {group['pool_seed']})"
+        )
+        algos = group.get("algorithms") or {}
+        cis = {
+            name: entry[metric]
+            for name, entry in algos.items()
+            if isinstance(entry.get(metric), Mapping)
+        }
+        if not cis:
+            lines.append("  (no CI data)")
+            continue
+        peak = max(max(ci["hi"] for ci in cis.values()), 1.0)
+        name_w = max(len(name) for name in cis)
+        for name, ci in cis.items():
+            bar = _ci_bar(ci, peak, width)
+            lines.append(
+                f"  {name.ljust(name_w)}  {bar.ljust(width)} "
+                f"{ci['mean']:.4f} [{ci['lo']:.4f}, {ci['hi']:.4f}]"
+                f"  n={ci['n']}"
+            )
+        marks = []
+        for comp in group.get("comparisons") or []:
+            if comp.get("metric") != metric:
+                continue
+            p = comp.get("permutation", {}).get("p")
+            if p is not None and p < 0.05:
+                marks.append(f"{comp['a']} vs {comp['b']} p={p:.3g}")
+        if marks:
+            lines.append("  significant (permutation p<0.05): " + "; ".join(marks))
     return "\n".join(lines)
 
 

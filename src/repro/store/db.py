@@ -114,6 +114,40 @@ CREATE TABLE IF NOT EXISTS models (
     payload BLOB NOT NULL,
     created_at TEXT NOT NULL
 );
+CREATE TABLE IF NOT EXISTS telemetry_runs (
+    id INTEGER PRIMARY KEY,
+    run_key TEXT NOT NULL UNIQUE,
+    label TEXT NOT NULL DEFAULT '',
+    session TEXT NOT NULL DEFAULT '',
+    suite TEXT NOT NULL DEFAULT '',
+    git_rev TEXT NOT NULL DEFAULT '',
+    machine TEXT NOT NULL DEFAULT '',
+    code_version TEXT NOT NULL,
+    schema_version INTEGER NOT NULL,
+    created_at TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS telemetry_spans (
+    id INTEGER PRIMARY KEY,
+    run_id INTEGER NOT NULL REFERENCES telemetry_runs(id),
+    name TEXT NOT NULL,
+    count INTEGER NOT NULL,
+    total_s REAL NOT NULL,
+    self_s REAL NOT NULL,
+    self_p50_s REAL NOT NULL,
+    self_p90_s REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS ix_telemetry_spans_run
+    ON telemetry_spans(run_id, self_s DESC);
+CREATE TABLE IF NOT EXISTS telemetry_metrics (
+    id INTEGER PRIMARY KEY,
+    run_id INTEGER NOT NULL REFERENCES telemetry_runs(id),
+    kind TEXT NOT NULL,
+    name TEXT NOT NULL,
+    value REAL,
+    payload TEXT NOT NULL DEFAULT '{}'
+);
+CREATE INDEX IF NOT EXISTS ix_telemetry_metrics_run
+    ON telemetry_metrics(run_id, name);
 """
 
 
@@ -579,6 +613,187 @@ class MeasurementStore:
         )
         return {key: json.loads(value) for key, value in rows}
 
+    # -- telemetry history ----------------------------------------------------
+
+    def record_telemetry_run(
+        self, run: dict, spans: Sequence[dict], metrics: Sequence[dict]
+    ) -> int:
+        """Durably record one run's aggregated telemetry snapshot.
+
+        ``run`` carries the run-level provenance (``run_key``, ``label``,
+        ``session``, ``suite``, ``git_rev``, ``machine``,
+        ``schema_version``); ``spans`` the per-span-name self-time
+        aggregates and ``metrics`` the counter/gauge/histogram totals
+        (see :mod:`repro.telemetry.persist`).  The whole snapshot
+        commits in one transaction.  The telemetry tables are an
+        *additive* migration: they are created on open of any
+        schema-1 store file, and every run row carries its own
+        ``schema_version`` so future readers can skip payloads they do
+        not understand instead of misreading them.
+        """
+        conn = self._conn()
+
+        def write():
+            with self._lock, conn:
+                cur = conn.execute(
+                    "INSERT INTO telemetry_runs"
+                    " (run_key, label, session, suite, git_rev, machine,"
+                    "  code_version, schema_version, created_at)"
+                    " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                    (
+                        str(run["run_key"]),
+                        str(run.get("label", "")),
+                        str(run.get("session", "")),
+                        str(run.get("suite", "")),
+                        str(run.get("git_rev", "")),
+                        str(run.get("machine", "")),
+                        __version__,
+                        int(run["schema_version"]),
+                        _utcnow(),
+                    ),
+                )
+                run_id = int(cur.lastrowid)
+                conn.executemany(
+                    "INSERT INTO telemetry_spans"
+                    " (run_id, name, count, total_s, self_s,"
+                    "  self_p50_s, self_p90_s)"
+                    " VALUES (?, ?, ?, ?, ?, ?, ?)",
+                    [
+                        (
+                            run_id,
+                            str(s["name"]),
+                            int(s["count"]),
+                            float(s["total_s"]),
+                            float(s["self_s"]),
+                            float(s["self_p50_s"]),
+                            float(s["self_p90_s"]),
+                        )
+                        for s in spans
+                    ],
+                )
+                conn.executemany(
+                    "INSERT INTO telemetry_metrics"
+                    " (run_id, kind, name, value, payload)"
+                    " VALUES (?, ?, ?, ?, ?)",
+                    [
+                        (
+                            run_id,
+                            str(m["kind"]),
+                            str(m["name"]),
+                            None if m.get("value") is None
+                            else float(m["value"]),
+                            json.dumps(
+                                m.get("payload") or {}, sort_keys=True
+                            ),
+                        )
+                        for m in metrics
+                    ],
+                )
+                return run_id
+
+        with telemetry.get().span(
+            "store.write", category="store", kind="telemetry",
+            rows=len(spans) + len(metrics),
+        ):
+            return self._retry(write)
+
+    _TELEMETRY_RUN_COLUMNS = (
+        "id", "run_key", "label", "session", "suite", "git_rev",
+        "machine", "code_version", "schema_version", "created_at",
+    )
+
+    def telemetry_runs(self) -> list[dict]:
+        """Every recorded telemetry run, oldest first."""
+        conn = self._conn()
+        rows = self._retry(
+            lambda: conn.execute(
+                "SELECT id, run_key, label, session, suite, git_rev,"
+                " machine, code_version, schema_version, created_at"
+                " FROM telemetry_runs ORDER BY id"
+            ).fetchall()
+        )
+        return [dict(zip(self._TELEMETRY_RUN_COLUMNS, r)) for r in rows]
+
+    def find_telemetry_run(self, ref: str | int | None = None) -> dict | None:
+        """Resolve one telemetry run row by reference.
+
+        ``None`` returns the newest run; otherwise ``ref`` matches — in
+        order — an exact ``run_key``, an exact ``label`` (newest wins),
+        or a numeric row id.  Returns ``None`` when nothing matches.
+        """
+        conn = self._conn()
+        base = (
+            "SELECT id, run_key, label, session, suite, git_rev,"
+            " machine, code_version, schema_version, created_at"
+            " FROM telemetry_runs"
+        )
+
+        def lookup():
+            if ref is None:
+                return conn.execute(
+                    base + " ORDER BY id DESC LIMIT 1"
+                ).fetchone()
+            row = conn.execute(
+                base + " WHERE run_key=? ORDER BY id DESC LIMIT 1", (str(ref),)
+            ).fetchone()
+            if row is None:
+                row = conn.execute(
+                    base + " WHERE label=? ORDER BY id DESC LIMIT 1",
+                    (str(ref),),
+                ).fetchone()
+            if row is None and str(ref).isdigit():
+                row = conn.execute(
+                    base + " WHERE id=?", (int(ref),)
+                ).fetchone()
+            return row
+
+        row = self._retry(lookup)
+        if row is None:
+            return None
+        return dict(zip(self._TELEMETRY_RUN_COLUMNS, row))
+
+    def telemetry_spans(self, run_id: int) -> list[dict]:
+        """One run's per-span-name aggregates, by self-time descending."""
+        conn = self._conn()
+        rows = self._retry(
+            lambda: conn.execute(
+                "SELECT name, count, total_s, self_s, self_p50_s,"
+                " self_p90_s FROM telemetry_spans WHERE run_id=?"
+                " ORDER BY self_s DESC, name",
+                (int(run_id),),
+            ).fetchall()
+        )
+        return [
+            dict(
+                zip(
+                    ("name", "count", "total_s", "self_s", "self_p50_s",
+                     "self_p90_s"),
+                    r,
+                )
+            )
+            for r in rows
+        ]
+
+    def telemetry_metrics(self, run_id: int) -> list[dict]:
+        """One run's metric totals, sorted by name."""
+        conn = self._conn()
+        rows = self._retry(
+            lambda: conn.execute(
+                "SELECT kind, name, value, payload FROM telemetry_metrics"
+                " WHERE run_id=? ORDER BY name",
+                (int(run_id),),
+            ).fetchall()
+        )
+        return [
+            {
+                "kind": r[0],
+                "name": r[1],
+                "value": r[2],
+                "payload": json.loads(r[3]),
+            }
+            for r in rows
+        ]
+
     # -- maintenance ----------------------------------------------------------
 
     def stats(self) -> dict:
@@ -622,6 +837,7 @@ class MeasurementStore:
             ),
             "models": one("SELECT COUNT(*) FROM models"),
             "metadata": one("SELECT COUNT(*) FROM metadata"),
+            "telemetry_runs": one("SELECT COUNT(*) FROM telemetry_runs"),
             "by_context": by_context,
         }
 

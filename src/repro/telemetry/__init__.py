@@ -45,12 +45,18 @@ from repro.telemetry.hub import (
     SpanRecord,
     Telemetry,
 )
-from repro.telemetry.sinks import SCHEMA_VERSION, JsonlSink
+from repro.telemetry.persist import (
+    TELEMETRY_SCHEMA_VERSION,
+    aggregate_spans,
+    flush_run,
+)
+from repro.telemetry.sinks import SCHEMA_VERSION, JsonlSink, load_jsonl
 from repro.telemetry.summary import render_summary
 
 __all__ = [
     "DEFAULT_SECONDS_BUCKETS",
     "SCHEMA_VERSION",
+    "TELEMETRY_SCHEMA_VERSION",
     "Counter",
     "Gauge",
     "Histogram",
@@ -59,10 +65,13 @@ __all__ = [
     "NullTelemetry",
     "SpanRecord",
     "Telemetry",
+    "aggregate_spans",
     "complete_event",
     "enabled",
+    "flush_run",
     "get",
     "install",
+    "load_jsonl",
     "summarize",
     "to_chrome_trace",
     "use",

@@ -1,0 +1,220 @@
+"""Store-backed telemetry persistence: end-of-run perf history.
+
+A :class:`~repro.telemetry.hub.Telemetry` hub evaporates at process
+exit; the only durable perf record used to be two hand-committed
+``BENCH_*.json`` files.  This module flushes one *aggregated* snapshot
+of a finished run — per-span-name self-time totals and percentiles,
+counter/gauge totals, histogram percentile estimates, plus provenance
+(git revision, machine, session/suite identity) — into the
+:class:`~repro.store.db.MeasurementStore` telemetry tables, where the
+regression layer (:mod:`repro.telemetry.regress`) can compare any two
+runs months apart.
+
+Aggregation happens *after* the runner's deterministic
+``merge_worker`` pass, so a ``--jobs N`` run persists exactly the same
+span names, call counts, and metric totals as its serial twin — only
+the wall-clock columns differ.  Payload rows are schema-versioned
+(:data:`TELEMETRY_SCHEMA_VERSION`): a reader facing a newer version
+skips the run with a note instead of misreading it.
+
+Persistence is observe-only.  It reads a closed hub and writes a store;
+it never touches random state, so runs with persistence enabled are
+bit-identical to runs without.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import subprocess
+import uuid
+
+import numpy as np
+
+from repro.telemetry.hub import NullTelemetry, Telemetry
+
+__all__ = [
+    "TELEMETRY_SCHEMA_VERSION",
+    "aggregate_spans",
+    "flush_run",
+    "git_revision",
+    "histogram_percentiles",
+    "run_provenance",
+]
+
+#: Version of the persisted telemetry payload (span/metric row shapes).
+#: Bump on breaking changes; readers skip rows with versions they do
+#: not support instead of raising.
+TELEMETRY_SCHEMA_VERSION = 1
+
+#: Percentiles estimated for persisted histograms.
+HISTOGRAM_PERCENTILES = (50, 90, 99)
+
+
+def aggregate_spans(hub: Telemetry | NullTelemetry) -> list[dict]:
+    """Per-span-name aggregates of one hub: count, total, self time.
+
+    Self time is each record's duration minus its direct children's;
+    ``self_p50_s``/``self_p90_s`` are percentiles of the *per-record*
+    self times, which is what the regression gate compares (a mean
+    hides a stretched tail).  A disabled or empty hub aggregates to
+    ``[]`` — reporting on nothing is clean, never an error.
+    """
+    records = list(getattr(hub, "spans", ()) or ())
+    if not records:
+        return []
+    child_total: dict[int, float] = {}
+    for record in records:
+        if record.parent_id is not None:
+            child_total[record.parent_id] = (
+                child_total.get(record.parent_id, 0.0) + record.duration
+            )
+    by_name: dict[str, dict] = {}
+    for record in records:
+        agg = by_name.setdefault(
+            record.name,
+            {"name": record.name, "count": 0, "total_s": 0.0, "selves": []},
+        )
+        agg["count"] += 1
+        agg["total_s"] += record.duration
+        agg["selves"].append(
+            max(0.0, record.duration - child_total.get(record.span_id, 0.0))
+        )
+    out = []
+    for agg in by_name.values():
+        selves = np.asarray(agg.pop("selves"), dtype=np.float64)
+        agg["self_s"] = float(selves.sum())
+        agg["self_p50_s"] = float(np.percentile(selves, 50))
+        agg["self_p90_s"] = float(np.percentile(selves, 90))
+        out.append(agg)
+    out.sort(key=lambda a: (-a["self_s"], a["name"]))
+    return out
+
+
+def histogram_percentiles(snap: dict, percentiles=HISTOGRAM_PERCENTILES):
+    """Bucket-boundary percentile estimates of one histogram snapshot.
+
+    Returns ``{"p50": bound, ...}`` where each value is the upper bound
+    of the first bucket whose cumulative count reaches the requested
+    fraction — ``None`` for observations past the last bound (the
+    overflow bucket has no finite upper edge) and for zero-sample
+    histograms (there is nothing to estimate; reporting stays clean).
+    """
+    count = int(snap.get("count") or 0)
+    buckets = list(snap.get("buckets") or ())
+    counts = list(snap.get("counts") or ())
+    if count <= 0 or not buckets or len(counts) != len(buckets) + 1:
+        return {f"p{p}": None for p in percentiles}
+    out = {}
+    for p in percentiles:
+        target = count * (p / 100.0)
+        cumulative = 0
+        estimate = None
+        for bound, bucket_count in zip(buckets, counts):
+            cumulative += bucket_count
+            if cumulative >= target:
+                estimate = float(bound)
+                break
+        out[f"p{p}"] = estimate
+    return out
+
+
+def _metric_rows(hub: Telemetry | NullTelemetry) -> list[dict]:
+    """Persistable rows of every metric snapshot (name-sorted)."""
+    rows = []
+    for snap in hub.metrics_snapshot():
+        kind = snap.get("kind", "counter")
+        if kind == "histogram":
+            count = int(snap.get("count") or 0)
+            total = float(snap.get("total") or 0.0)
+            payload = {
+                "count": count,
+                "total": total,
+                "mean": total / count if count else 0.0,
+                **histogram_percentiles(snap),
+            }
+            rows.append(
+                {
+                    "kind": kind,
+                    "name": snap["name"],
+                    "value": float(count),
+                    "payload": payload,
+                }
+            )
+        else:
+            value = snap.get("value")
+            rows.append(
+                {
+                    "kind": kind,
+                    "name": snap["name"],
+                    "value": None if value is None else float(value),
+                    "payload": {},
+                }
+            )
+    return rows
+
+
+def git_revision() -> str:
+    """Best-effort code revision: CI env var first, then ``git``."""
+    for var in ("GITHUB_SHA", "CI_COMMIT_SHA", "REPRO_GIT_REV"):
+        rev = os.environ.get(var)
+        if rev:
+            return rev[:12]
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short=12", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+    except (OSError, subprocess.SubprocessError):
+        return ""
+    return out.stdout.strip() if out.returncode == 0 else ""
+
+
+def run_provenance(
+    label: str = "", session: str = "", suite: str = ""
+) -> dict:
+    """The run-level row of one persisted snapshot."""
+    return {
+        "run_key": uuid.uuid4().hex[:12],
+        "label": label,
+        "session": session,
+        "suite": suite,
+        "git_rev": git_revision(),
+        "machine": platform.node(),
+        "schema_version": TELEMETRY_SCHEMA_VERSION,
+    }
+
+
+def flush_run(
+    store,
+    hub: Telemetry | NullTelemetry | None = None,
+    *,
+    label: str = "",
+    session: str = "",
+    suite: str = "",
+) -> str | None:
+    """Persist one hub's aggregated telemetry as a new store run.
+
+    ``store`` is a :class:`~repro.store.db.MeasurementStore` or a path;
+    ``hub`` defaults to the process-current hub.  Returns the new run's
+    ``run_key``, or ``None`` for a disabled hub (flushing nothing is a
+    clean no-op, mirroring :class:`~repro.telemetry.hub.NullTelemetry`).
+    An enabled-but-empty hub still records a run row — an empty profile
+    is a fact worth diffing against, not an error.
+    """
+    if hub is None:
+        from repro import telemetry
+
+        hub = telemetry.get()
+    if not getattr(hub, "enabled", False):
+        return None
+    from repro.store.db import MeasurementStore
+
+    if not isinstance(store, MeasurementStore):
+        store = MeasurementStore(store)
+    run = run_provenance(label=label, session=session, suite=suite)
+    store.record_telemetry_run(run, aggregate_spans(hub), _metric_rows(hub))
+    return run["run_key"]

@@ -1,0 +1,278 @@
+"""Live progress heartbeats for long tuning and suite runs.
+
+A 100-repeat suite can run for hours with nothing on the terminal.
+This module adds an *observe-only* heartbeat channel next to the
+telemetry hub: the :class:`~repro.core.driver.TuningDriver` reports
+per-cycle state (iteration, budget burn-down, best objective so far,
+cumulative fit seconds) and the suite engine reports cells done /
+cached / total with an ETA.
+
+Like :class:`~repro.telemetry.hub.NullTelemetry`, the default sink is a
+shared no-op (:data:`NULL_PROGRESS`): instrumented sites call
+``progress.get().driver_cycle(...)`` unconditionally and pay one
+attribute lookup when progress is off.  Sinks only *read* session
+state — they never touch random state or feed anything back — so
+results are bit-identical with progress enabled or disabled.
+
+Two renderers, chosen by :func:`make_sink` from the output stream:
+
+* :class:`AsciiProgress` — a one-line dashboard redrawn in place on a
+  TTY (meter rendering shared with :mod:`repro.experiments.viz`);
+* :class:`JsonlProgress` — one JSON heartbeat per line for logs and
+  non-interactive CI, each line independently parseable.
+
+Heartbeats are throttled (default 0.5 s between emissions) so a
+fast-cycling driver cannot flood the stream; terminal events (a suite
+reaching its last cell, ``close``) always flush.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from contextlib import contextmanager
+
+__all__ = [
+    "AsciiProgress",
+    "JsonlProgress",
+    "NULL_PROGRESS",
+    "NullProgress",
+    "ProgressSink",
+    "get",
+    "install",
+    "make_sink",
+    "use",
+]
+
+
+class NullProgress:
+    """The disabled sink: every operation is a shared no-op."""
+
+    enabled = False
+
+    def driver_cycle(self, **state) -> None:
+        pass
+
+    def suite_cell(self, **state) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+#: The shared disabled sink (the default).
+NULL_PROGRESS = NullProgress()
+
+_current: "ProgressSink | NullProgress" = NULL_PROGRESS
+
+
+def get() -> "ProgressSink | NullProgress":
+    """The process-local current sink (:data:`NULL_PROGRESS` when off)."""
+    return _current
+
+
+def install(sink):
+    """Install ``sink`` as the current sink; returns the previous one."""
+    global _current
+    previous = _current
+    _current = sink if sink is not None else NULL_PROGRESS
+    return previous
+
+
+@contextmanager
+def use(sink):
+    """Install ``sink`` for the duration of a ``with`` block."""
+    previous = install(sink)
+    try:
+        yield _current
+    finally:
+        install(previous)
+
+
+class ProgressSink:
+    """Throttled heartbeat sink; subclasses render one event dict.
+
+    Parameters
+    ----------
+    stream:
+        Writable text stream (default ``sys.stderr``).
+    min_interval:
+        Minimum seconds between rendered heartbeats.  Terminal events
+        (last suite cell, :meth:`close`) bypass the throttle.
+    """
+
+    enabled = True
+
+    def __init__(self, stream=None, min_interval: float = 0.5):
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval = float(min_interval)
+        self._last_emit = float("-inf")
+        self._suite_started: float | None = None
+        self._suite_done_at_start = 0
+        self._last_event: dict | None = None
+
+    # -- heartbeat entry points ------------------------------------------------
+
+    def driver_cycle(
+        self,
+        *,
+        algorithm: str = "",
+        workflow: str = "",
+        iteration: int = 0,
+        runs_used: int = 0,
+        budget: int | None = None,
+        best_value: float | None = None,
+        fit_seconds: float = 0.0,
+    ) -> None:
+        """One tuning-driver measurement cycle finished."""
+        self._emit(
+            {
+                "type": "driver",
+                "algorithm": algorithm,
+                "workflow": workflow,
+                "iteration": iteration,
+                "runs_used": runs_used,
+                "budget": budget,
+                "best_value": best_value,
+                "fit_seconds": round(fit_seconds, 4),
+            },
+            final=budget is not None and runs_used >= budget,
+        )
+
+    def suite_cell(
+        self,
+        *,
+        suite: str = "",
+        done: int = 0,
+        total: int = 0,
+        cached: int = 0,
+    ) -> None:
+        """One suite cell finished (or was restored from cache)."""
+        now = time.perf_counter()
+        if self._suite_started is None:
+            self._suite_started = now
+            self._suite_done_at_start = done
+        eta = None
+        executed = done - self._suite_done_at_start
+        remaining = total - done
+        if executed > 0 and remaining > 0:
+            rate = (now - self._suite_started) / executed
+            eta = rate * remaining
+        self._emit(
+            {
+                "type": "suite",
+                "suite": suite,
+                "done": done,
+                "total": total,
+                "cached": cached,
+                "eta_seconds": None if eta is None else round(eta, 1),
+            },
+            final=total > 0 and done >= total,
+        )
+
+    # -- rendering -------------------------------------------------------------
+
+    def _emit(self, event: dict, final: bool = False) -> None:
+        now = time.perf_counter()
+        if not final and now - self._last_emit < self.min_interval:
+            # Keep the freshest throttled event so close() can flush it.
+            self._last_event = event
+            return
+        self._last_emit = now
+        self._last_event = None
+        self._render(event)
+
+    def _render(self, event: dict) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush the last heartbeat (throttled or not) and finish."""
+        if self._last_event is not None:
+            self._render(self._last_event)
+            self._last_event = None
+
+
+def _fmt_eta(seconds) -> str:
+    if seconds is None:
+        return "--:--"
+    seconds = int(seconds)
+    if seconds >= 3600:
+        return f"{seconds // 3600}h{(seconds % 3600) // 60:02d}m"
+    return f"{seconds // 60}:{seconds % 60:02d}"
+
+
+class AsciiProgress(ProgressSink):
+    """In-place one-line dashboard for interactive terminals."""
+
+    def __init__(self, stream=None, min_interval: float = 0.5, width: int = 24):
+        super().__init__(stream=stream, min_interval=min_interval)
+        self.width = int(width)
+        self._dirty = False
+
+    def _render(self, event: dict) -> None:
+        from repro.experiments.viz import render_meter
+
+        if event["type"] == "suite":
+            meter = render_meter(event["done"], event["total"], self.width)
+            line = (
+                f"suite {event['suite']}: {meter} "
+                f"{event['done']}/{event['total']} cells "
+                f"({event['cached']} cached)  eta {_fmt_eta(event['eta_seconds'])}"
+            )
+        else:
+            budget = event["budget"]
+            meter = (
+                render_meter(event["runs_used"], budget, self.width)
+                if budget
+                else ""
+            )
+            best = event["best_value"]
+            line = (
+                f"{event['algorithm']} {event['workflow']}: {meter} "
+                f"run {event['runs_used']}"
+                + (f"/{budget}" if budget else "")
+                + f"  cycle {event['iteration']}"
+                + (f"  best {best:.4g}" if best is not None else "")
+                + f"  fit {event['fit_seconds']:.2f}s"
+            )
+        self.stream.write("\r\x1b[2K" + line)
+        self.stream.flush()
+        self._dirty = True
+
+    def close(self) -> None:
+        super().close()
+        if self._dirty:
+            self.stream.write("\n")
+            self.stream.flush()
+            self._dirty = False
+
+
+class JsonlProgress(ProgressSink):
+    """One JSON heartbeat per line (logs, CI, pipes)."""
+
+    schema = {"schema": "repro-progress", "version": 1}
+
+    def __init__(self, stream=None, min_interval: float = 0.5):
+        super().__init__(stream=stream, min_interval=min_interval)
+        self._wrote_meta = False
+
+    def _render(self, event: dict) -> None:
+        if not self._wrote_meta:
+            self.stream.write(
+                json.dumps(
+                    {"type": "meta", **self.schema}, separators=(",", ":")
+                )
+                + "\n"
+            )
+            self._wrote_meta = True
+        self.stream.write(json.dumps(event, separators=(",", ":")) + "\n")
+        self.stream.flush()
+
+
+def make_sink(stream=None, min_interval: float = 0.5):
+    """The right sink for ``stream``: dashboard on a TTY, JSONL otherwise."""
+    stream = stream if stream is not None else sys.stderr
+    if getattr(stream, "isatty", lambda: False)():
+        return AsciiProgress(stream=stream, min_interval=min_interval)
+    return JsonlProgress(stream=stream, min_interval=min_interval)

@@ -26,7 +26,7 @@ from pathlib import Path
 
 from repro.telemetry.hub import SpanRecord
 
-__all__ = ["SCHEMA_VERSION", "JsonlSink", "json_safe"]
+__all__ = ["SCHEMA_VERSION", "JsonlSink", "json_safe", "load_jsonl"]
 
 #: Version of the JSONL line schema (bump on breaking changes).
 SCHEMA_VERSION = 1
@@ -88,3 +88,55 @@ class JsonlSink:
             if not self._handle.closed:
                 self._handle.flush()
                 self._handle.close()
+
+
+def load_jsonl(path: str | Path) -> dict:
+    """Tolerantly read a :class:`JsonlSink` file back.
+
+    Returns ``{"meta", "spans", "metrics", "ignored", "notes"}``.  The
+    reader never raises on content: corrupt lines are counted in
+    ``ignored``; a file whose schema version is *newer* than
+    :data:`SCHEMA_VERSION` reports that in ``notes`` and skips the
+    payload lines (their shape is unknown) instead of misparsing them.
+    A partial file from a crashed run — even one cut mid-line — still
+    yields every complete record before the cut.
+    """
+    out: dict = {
+        "meta": None,
+        "spans": [],
+        "metrics": [],
+        "ignored": 0,
+        "notes": [],
+    }
+    supported = True
+    with open(Path(path), encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+                kind = obj.get("type")
+            except (ValueError, AttributeError):
+                out["ignored"] += 1
+                continue
+            if kind == "meta":
+                out["meta"] = obj
+                version = obj.get("version")
+                if version != SCHEMA_VERSION:
+                    supported = False
+                    out["notes"].append(
+                        f"schema version {version!r} is not the supported "
+                        f"{SCHEMA_VERSION}; span/metric lines skipped"
+                    )
+            elif not supported:
+                out["ignored"] += 1
+            elif kind == "span":
+                out["spans"].append(obj)
+            elif kind == "metric":
+                out["metrics"].append(obj)
+            else:
+                out["ignored"] += 1
+    if out["meta"] is None:
+        out["notes"].append("no meta line found")
+    return out

@@ -120,6 +120,49 @@ def test_oracle_pool_preserves_pinned_output(lv, lv_pool, lv_histories, monkeypa
     assert list(result.best_config(oracle_pool)) == pin["recommendation"]
 
 
+@pytest.mark.parametrize("key", ["rs", "ceal_paid", "alph_paid"])
+def test_observability_preserves_pinned_output(
+    key, lv, lv_pool, lv_histories, tmp_path
+):
+    """Telemetry persistence + live progress never move a pinned number.
+
+    The full observability stack — a live hub, a progress sink, and an
+    end-of-run flush into a store — is observe-only: with all of it
+    enabled, every algorithm still reproduces its pinned output
+    bit-for-bit.
+    """
+    import io
+
+    from repro import telemetry as tel
+    from repro.telemetry import progress
+    from repro.telemetry.persist import flush_run
+    from repro.telemetry.regress import load_run
+
+    pin = PINNED[key]
+    problem = TuningProblem.create(
+        workflow=lv,
+        objective=EXECUTION_TIME,
+        pool=lv_pool,
+        budget_runs=pin["budget"],
+        seed=3,
+        histories=lv_histories,
+        failure_rate=pin["failure_rate"],
+    )
+    hub = tel.Telemetry()
+    sink = progress.JsonlProgress(stream=io.StringIO(), min_interval=0.0)
+    with tel.use(hub), progress.use(sink):
+        result = CASES[key]().tune(problem)
+    sink.close()
+    run_key = flush_run(tmp_path / "perf.db", hub, label=key)
+    assert result.runs_used == pin["runs_used"]
+    assert [list(c) for c in result.measured] == pin["measured_configs"]
+    assert list(result.measured.values()) == pin["measured_values"]
+    assert list(result.best_config(lv_pool)) == pin["recommendation"]
+    assert list(result.predict_pool(lv_pool)) == PINNED_SCORES[key]["pool_scores"]
+    # The flushed snapshot is really there, spans and all.
+    assert load_run(tmp_path / "perf.db", run_key).spans
+
+
 @pytest.mark.parametrize("warm_start", ["off", "components", "full"])
 @pytest.mark.parametrize("key", ["rs", "ceal_paid", "alph_paid"])
 def test_empty_store_preserves_pinned_output(
