@@ -1,0 +1,111 @@
+"""Load-generate against the tuning daemon and print a BENCH report.
+
+Drives many concurrent tuning sessions against a ``repro serve``
+daemon through the stdlib client, then prints the load report — the
+same schema as the committed ``BENCH_serve.json`` (per-endpoint
+latency percentiles, throughput, and ``floor``/``speedup`` gates that
+``repro telemetry diff --floors`` understands).
+
+Against a daemon you started yourself::
+
+    python -m repro serve --state-dir .serve --port 8765 &
+    python examples/serve_loadgen.py --port 8765 --sessions 50
+
+Self-contained (boots an in-process daemon, runs, tears down)::
+
+    python examples/serve_loadgen.py --inline --sessions 120 \
+        --out BENCH_serve.json
+
+Knobs: ``--sessions`` concurrent sessions, ``--rate`` a global
+requests/second cap (0 = unlimited), ``--duration`` a wall-clock cap
+in seconds (0 = run to completion).
+"""
+
+import argparse
+import json
+import sys
+import tempfile
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="load-generate against a repro serve daemon"
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8765)
+    parser.add_argument(
+        "--inline", action="store_true",
+        help="boot an in-process daemon instead of targeting --port")
+    parser.add_argument(
+        "--sessions", type=int, default=24,
+        help="concurrent sessions to drive (default: 24)")
+    parser.add_argument(
+        "--threads", type=int, default=8,
+        help="client worker threads (default: 8)")
+    parser.add_argument(
+        "--rate", type=float, default=0.0,
+        help="global request rate cap in req/s (default: unlimited)")
+    parser.add_argument(
+        "--duration", type=float, default=0.0,
+        help="stop issuing requests after SEC seconds (default: run "
+        "every session to completion)")
+    parser.add_argument(
+        "--budget", type=int, default=6,
+        help="per-session measurement budget (default: 6)")
+    parser.add_argument(
+        "--algorithms", default="rs,lowfid",
+        help="comma-separated algorithms cycled across sessions "
+        "(default: rs,lowfid)")
+    parser.add_argument(
+        "--max-active", type=int, default=16,
+        help="inline daemon resident-session budget; smaller than "
+        "--sessions exercises eviction churn (default: 16)")
+    parser.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="also write the JSON report to PATH")
+    args = parser.parse_args(argv)
+
+    from repro.serve.loadgen import apply_floors, run_load
+
+    algorithms = tuple(a for a in args.algorithms.split(",") if a)
+    kwargs = dict(
+        sessions=args.sessions,
+        threads=args.threads,
+        rate=args.rate,
+        duration=args.duration,
+        spec={"budget": args.budget},
+        algorithms=algorithms,
+    )
+    if args.inline:
+        from repro.serve.http import BackgroundServer
+        from repro.serve.sessions import SessionManager
+
+        with tempfile.TemporaryDirectory(prefix="repro-serve-") as state:
+            manager = SessionManager(state, max_active=args.max_active)
+            with BackgroundServer(manager, host=args.host) as server:
+                report = run_load(
+                    host=args.host, port=server.port, **kwargs
+                )
+    else:
+        report = run_load(host=args.host, port=args.port, **kwargs)
+
+    report = apply_floors(
+        report,
+        required_rps=4.0,
+        ask_p95_budget_ms=3_000.0,
+        tell_p95_budget_ms=1_500.0,
+    )
+    text = json.dumps(report, indent=1, sort_keys=True)
+    print(text)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    ok = report["errors"] == 0 and (
+        report["sessions_completed"] == report["sessions_created"]
+        or args.duration > 0
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

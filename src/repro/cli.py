@@ -1,18 +1,21 @@
 """Command-line interface.
 
-Five subcommands::
+Six subcommands::
 
     python -m repro tune --workflow LV --objective computer_time --budget 50
     python -m repro reproduce --target fig05 --repeats 10 --pool 1000
     python -m repro suite run examples/suites/smoke.toml --store runs.db
     python -m repro store stats runs.db
+    python -m repro serve --state-dir .repro-serve --port 8765
     python -m repro telemetry diff runs.db --baseline main
 
 ``tune`` runs the auto-tuner once and prints the recommendation;
 ``reproduce`` regenerates one of the paper's tables/figures and prints
 the rows; ``suite`` compiles a declarative TOML/JSON experiment spec
 into a run matrix, executes it resumably (``run``/``resume``) and
-prints the statistical analysis report (``report``).
+prints the statistical analysis report (``report``); ``serve`` runs the
+tuning-as-a-service daemon (:mod:`repro.serve`) until SIGTERM, leaving
+every session at a resumable checkpoint.
 
 Machine-readable results go to stdout; diagnostics go to stderr through
 the ``repro`` logger (``-v`` for progress + telemetry summary, ``-vv``
@@ -204,6 +207,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--chart", action="store_true",
         help="also render an ASCII chart of the report: per-algorithm "
         "confidence-interval bars and significance calls")
+
+    serve = sub.add_parser(
+        "serve", help="run the tuning-as-a-service daemon"
+    )
+    _add_common_flags(serve)
+    serve.add_argument(
+        "--state-dir", metavar="DIR", default=".repro-serve",
+        help="session state directory (spec + checkpoint per session); "
+        "a restarted daemon recovers every session found here "
+        "(default: .repro-serve)")
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default: 127.0.0.1)")
+    serve.add_argument(
+        "--port", type=int, default=8765,
+        help="bind port; 0 picks a free one, printed on the readiness "
+        "line (default: 8765)")
+    serve.add_argument(
+        "--store", metavar="PATH", default=None,
+        help="shared measurement store: sessions record paid runs into "
+        "it and warm_start specs draw on it (created if missing)")
+    serve.add_argument(
+        "--max-active", type=int, default=64, metavar="N",
+        help="resident-session budget; least-recently-used idle "
+        "sessions beyond it are evicted to their checkpoints and "
+        "rehydrated transparently on next touch (default: 64)")
+    serve.add_argument(
+        "--workers", type=int, default=4, metavar="N",
+        help="worker threads for CPU-bound ask/tell work (default: 4)")
+    serve.add_argument(
+        "--request-timeout", type=float, default=60.0, metavar="SEC",
+        help="per-request budget; exceeding it returns a structured "
+        "'timeout' error (default: 60)")
 
     tel = sub.add_parser(
         "telemetry", help="query persisted telemetry history"
@@ -603,6 +639,40 @@ def _cmd_telemetry(args, out) -> int:
         store.close()
 
 
+def _cmd_serve(args, out) -> int:
+    """Run the tuning daemon until SIGTERM/SIGINT.
+
+    A graceful signal drains in-flight requests, leaves every session
+    at a durable cycle-boundary checkpoint, and returns 0 — so the
+    normal post-command path still flushes ``--telemetry-store``
+    snapshots (server request counters, latency histograms, session
+    gauges all land in the persisted run).
+    """
+    from repro.serve.http import run_daemon
+    from repro.serve.sessions import SessionManager
+
+    manager = SessionManager(
+        args.state_dir, store=args.store, max_active=args.max_active
+    )
+    if manager.recovered:
+        log.info(
+            "recovered %d checkpointed session(s) from %s",
+            len(manager.recovered), args.state_dir,
+        )
+    try:
+        return run_daemon(
+            manager,
+            args.host,
+            args.port,
+            workers=args.workers,
+            request_timeout=args.request_timeout,
+            out=out,
+        )
+    finally:
+        if manager.store is not None:
+            manager.store.close()
+
+
 def main(argv: list[str] | None = None, out=None) -> int:
     """CLI entry point; returns a process exit code."""
     import contextlib
@@ -638,6 +708,8 @@ def _dispatch(args, out) -> int:
         return _cmd_store(args, out)
     if args.command == "suite":
         return _cmd_suite(args, out)
+    if args.command == "serve":
+        return _cmd_serve(args, out)
     if args.command == "telemetry":
         return _cmd_telemetry(args, out)
     raise AssertionError("unreachable")

@@ -29,6 +29,7 @@ import abc
 import math
 import os
 import pickle
+import tempfile
 import time
 from collections.abc import Sequence
 from dataclasses import dataclass, field, fields
@@ -52,8 +53,10 @@ __all__ = [
     "TuningEvent",
     "TuningSession",
     "load_checkpoint",
+    "restore_session",
     "save_checkpoint",
     "split_batches",
+    "validate_checkpoint",
 ]
 
 
@@ -420,7 +423,14 @@ def save_checkpoint(
     strategy: SearchStrategy,
     completed: bool = False,
 ) -> None:
-    """Atomically write the session's resumable state to ``path``."""
+    """Atomically write the session's resumable state to ``path``.
+
+    The payload is pickled to a uniquely named temporary file in the
+    target directory, fsynced, and renamed over ``path``: a crash (or a
+    concurrent checkpointer in a threaded server) mid-write can never
+    leave a torn checkpoint behind — readers see the previous complete
+    snapshot or the new one, nothing in between.
+    """
     path = Path(path)
     payload = {
         "version": CHECKPOINT_VERSION,
@@ -438,10 +448,46 @@ def save_checkpoint(
         "tracker": session.tracker.state_dict(),
         "strategy": strategy.state_dict(),
     }
-    tmp = path.with_name(path.name + ".tmp")
-    with open(tmp, "wb") as handle:
-        pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
-    os.replace(tmp, path)
+    fd, tmp = tempfile.mkstemp(
+        dir=path.parent or Path("."), prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def validate_checkpoint(
+    payload: dict, strategy: SearchStrategy, session: TuningSession
+) -> None:
+    """Check a checkpoint payload belongs to (strategy, session).
+
+    Raises :class:`CheckpointError` when the checkpoint was written by
+    a different algorithm, workflow, objective, seed, or budget — the
+    public face of the driver's resume validation, shared with the
+    serve layer's eviction/rehydration path.
+    """
+    TuningDriver._validate(payload, strategy, session)
+
+
+def restore_session(
+    payload: dict, strategy: SearchStrategy, session: TuningSession
+) -> None:
+    """Restore a validated checkpoint payload into a fresh session.
+
+    The session continues bit-identically from the checkpointed cycle
+    boundary (models are refit deterministically on demand, exactly as
+    in :meth:`TuningDriver.run` with ``resume=True``).
+    """
+    TuningDriver._restore(payload, strategy, session)
 
 
 def load_checkpoint(path: str | Path) -> dict:

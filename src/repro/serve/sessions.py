@@ -1,0 +1,651 @@
+"""Multi-session tuning service core: session runners and their manager.
+
+This is the long-lived composition layer ROADMAP item 1 asks for: many
+concurrent tuning sessions — any of the 8 algorithms, optional
+warm-start — sharing one process, one
+:class:`~repro.store.db.MeasurementStore`, and one telemetry hub.
+
+Two classes split the work:
+
+* :class:`SessionRunner` re-expresses the
+  :class:`~repro.core.driver.TuningDriver` measurement loop as
+  *stepwise* ``ask``/``tell`` calls so a remote client can sit in the
+  middle of the cycle.  The split preserves the driver's exact order of
+  operations (ask → budget clip → measure → tell → emit → checkpoint),
+  so a session driven through a runner finishes bit-identical to an
+  offline ``algorithm.tune(problem)`` run.
+* :class:`SessionManager` owns named runners: creation, LRU
+  eviction to checkpoint files, transparent rehydration on next touch,
+  crash recovery (re-listing checkpointed sessions at startup), and
+  per-session locking so concurrent requests on one session serialize
+  while different sessions proceed in parallel.
+
+Eviction discipline
+-------------------
+Checkpoints are written only at *cycle boundaries* (after ``prepare``
+and after every ``tell``), exactly like the driver.  Between an ``ask``
+and its ``tell`` the session's RNG has advanced, so re-saving there
+would fork the random stream; instead eviction simply drops the
+in-memory runner and keeps the last boundary checkpoint.  A pending
+(un-told) ask is *re-derivable*: rehydration restores the pre-ask RNG
+state, so re-running ``ask`` regenerates the identical batch under the
+identical deterministic ask id (``a<cycle>``), and a ``tell`` that
+arrives for that id after eviction — or after a daemon restart — is
+served transparently.  Anything else is a ``stale_ask`` error.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import re
+import tempfile
+import threading
+import uuid
+from collections import OrderedDict
+from contextlib import contextmanager
+from pathlib import Path
+
+from repro import telemetry
+from repro.core.driver import (
+    CheckpointError,
+    TuningSession,
+    load_checkpoint,
+    restore_session,
+    save_checkpoint,
+    validate_checkpoint,
+)
+from repro.core.problem import AutotuneResult
+from repro.serve.protocol import PROTOCOL_VERSION, ServeError
+from repro.serve.specs import SessionSpec, build_algorithm, build_problem
+
+__all__ = ["SessionManager", "SessionRunner"]
+
+#: Session names are path components of the state directory: keep them
+#: boring (no separators, no dotfiles) so they can never escape it.
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+
+def _check_name(name: str) -> str:
+    if not isinstance(name, str) or not _NAME_RE.match(name):
+        raise ServeError(
+            "bad_request",
+            "session name must be 1-64 characters of [A-Za-z0-9._-] "
+            "starting with an alphanumeric",
+        )
+    return name
+
+
+class SessionRunner:
+    """One live tuning session, driven stepwise by ask/tell requests.
+
+    The runner reproduces ``TuningDriver._run``'s cycle exactly, split
+    at the ask/measure boundary; see the module docstring for why
+    checkpoints land only on cycle boundaries.
+    """
+
+    def __init__(self, name: str, spec: SessionSpec, checkpoint_path, store=None):
+        self.name = name
+        self.spec = spec
+        self.checkpoint_path = Path(checkpoint_path)
+        algorithm = build_algorithm(spec)
+        self.strategy = algorithm.make_strategy()
+        self.strategy.name = algorithm.name
+        self.problem = build_problem(spec, store=store)
+        self.session = TuningSession.start(self.problem)
+        self.completed = False
+        self.result: AutotuneResult | None = None
+        self._pending: tuple[str, tuple] | None = None
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> None:
+        """Cold-start: the driver's prepare phase plus first checkpoint."""
+        with telemetry.get().span(
+            "serve.session.prepare", category="serve",
+            algorithm=self.strategy.name, workflow=self.spec.workflow,
+        ):
+            if self.problem.warm_start == "full":
+                from repro.store.warmstart import adopt_stored_measurements
+
+                adopted = adopt_stored_measurements(self.session)
+                if adopted:
+                    self.session.annotate(warm_adopted=adopted)
+            self.strategy.prepare(self.session)
+            if self.session.collector.runs_used > 0 or self.session.has_pending:
+                self.session.emit(kind="setup", batch=(), results={})
+        self._save()
+
+    @classmethod
+    def rehydrate(
+        cls, name: str, spec: SessionSpec, checkpoint_path, store=None
+    ) -> "SessionRunner":
+        """Rebuild a runner from (spec, checkpoint) files.
+
+        The problem is reconstructed deterministically from the spec,
+        then the checkpointed logical state is validated and restored —
+        the same machinery as ``TuningDriver.run(resume=True)``, so the
+        session continues bit-identically.  A missing checkpoint (crash
+        between spec write and first save) cold-starts instead.
+        """
+        runner = cls(name, spec, checkpoint_path, store=store)
+        if not runner.checkpoint_path.exists():
+            runner.start()
+            return runner
+        with telemetry.get().span(
+            "serve.session.rehydrate", category="serve",
+            algorithm=runner.strategy.name,
+        ):
+            payload = load_checkpoint(runner.checkpoint_path)
+            validate_checkpoint(payload, runner.strategy, runner.session)
+            restore_session(payload, runner.strategy, runner.session)
+            runner.completed = bool(payload.get("completed", False))
+        return runner
+
+    def _save(self, completed: bool = False) -> None:
+        save_checkpoint(
+            self.checkpoint_path, self.session, self.strategy, completed
+        )
+
+    # -- the stepwise measurement loop ----------------------------------------
+
+    def ask(self) -> dict:
+        """Propose (or repeat) the pending measurement batch.
+
+        Idempotent: repeated asks return the same pending batch until
+        it is told.  An empty proposal finishes the session, exactly as
+        it ends the driver's loop.
+        """
+        if self.completed:
+            return self._done_payload()
+        if self._pending is None:
+            with telemetry.get().span("serve.session.ask", category="serve"):
+                batch = [tuple(c) for c in self.strategy.ask(self.session)]
+            remaining = self.session.collector.runs_remaining
+            if not math.isinf(remaining) and len(batch) > remaining:
+                batch = batch[: max(int(remaining), 0)]
+            if not batch:
+                self._finish()
+                return self._done_payload()
+            self._pending = (f"a{self.session.iteration + 1}", tuple(batch))
+        ask_id, batch = self._pending
+        collector = self.session.collector
+        return {
+            "done": False,
+            "ask_id": ask_id,
+            "iteration": self.session.iteration + 1,
+            "configs": [list(c) for c in batch],
+            "runs_used": collector.runs_used,
+            "budget": collector.budget_runs,
+        }
+
+    def tell(self, ask_id) -> dict:
+        """Measure and digest the pending batch identified by ``ask_id``.
+
+        The server owns the measurement (the collector's simulated
+        in-situ runs), so ``tell`` carries only the ask id.  A tell for
+        an id that was never issued — or that was already told — is a
+        ``stale_ask`` error.  A tell for the *next* deterministic id of
+        a freshly rehydrated session transparently regenerates the ask
+        first (see the module docstring).
+        """
+        if self.completed:
+            raise ServeError(
+                "session_completed",
+                f"session {self.name!r} already finished; nothing to tell",
+            )
+        if not isinstance(ask_id, str) or not ask_id:
+            raise ServeError("bad_request", "tell requires a string ask_id")
+        if self._pending is None:
+            # Evicted or restarted between ask and tell: re-asking from
+            # the restored cycle boundary regenerates the identical
+            # batch under the identical id.
+            self.ask()
+            if self.completed or self._pending is None:
+                raise ServeError(
+                    "stale_ask",
+                    f"ask id {ask_id!r} was never issued for session "
+                    f"{self.name!r} (session is finishing)",
+                )
+        pending_id, batch = self._pending
+        if ask_id != pending_id:
+            raise ServeError(
+                "stale_ask",
+                f"ask id {ask_id!r} is not pending for session "
+                f"{self.name!r} (expected {pending_id!r})",
+            )
+        session = self.session
+        with telemetry.get().span(
+            "serve.session.tell", category="serve", batch=len(batch)
+        ):
+            results = session.collector.measure_batch(list(batch))
+            session.iteration += 1
+            self.strategy.tell(session, list(batch), results)
+            event = session.emit(kind="iteration", batch=batch, results=results)
+        self._pending = None
+        self._save()
+        best = self._best_measured()
+        return {
+            "done": False,
+            "ask_id": ask_id,
+            "iteration": event.iteration,
+            "measured": len(results),
+            "failures": event.failures,
+            "runs_used": event.runs_used,
+            "samples": event.samples,
+            "best_value": None if best is None else best[1],
+        }
+
+    def _finish(self) -> None:
+        """The driver's finalize block: model, summary, final event."""
+        session = self.session
+        with telemetry.get().span("serve.session.finalize", category="serve"):
+            model = self.strategy.finalize(session)
+            summary = self.strategy.summary(session)
+        if summary or session.has_pending:
+            session.annotate(**summary)
+            session.emit(kind="final", batch=(), results={})
+        self._save(completed=True)
+        self.result = AutotuneResult.from_collector(
+            self.strategy.name, self.problem, model, trace=session.events
+        )
+        self.completed = True
+
+    def _ensure_result(self) -> AutotuneResult:
+        """The session's result, refinalizing after a completed restore.
+
+        Refitting on restore is deterministic (same training data, same
+        seeds), so a rehydrated completed session recommends exactly
+        what it did before eviction.  No event is emitted — the
+        restored event log already ends with the final event.
+        """
+        if self.result is None:
+            if not self.completed:
+                raise ServeError(
+                    "bad_request",
+                    f"session {self.name!r} has not finished",
+                )
+            model = self.strategy.finalize(self.session)
+            self.result = AutotuneResult.from_collector(
+                self.strategy.name, self.problem, model,
+                trace=self.session.events,
+            )
+        return self.result
+
+    # -- read-only views ------------------------------------------------------
+
+    def _best_measured(self):
+        """(config, value) of the best paid measurement, or ``None``.
+
+        First-seen wins ties, making the report deterministic and
+        independent of dict ordering accidents.
+        """
+        best = None
+        for config, value in self.session.collector.measured.items():
+            if best is None or value < best[1]:
+                best = (config, value)
+        return best
+
+    def best(self) -> dict:
+        """Best-so-far (always) plus the final recommendation (when done)."""
+        collector = self.session.collector
+        best = self._best_measured()
+        payload = {
+            "session": self.name,
+            "completed": self.completed,
+            "samples": collector.n_measured,
+            "runs_used": collector.runs_used,
+            "best_config": None if best is None else list(best[0]),
+            "best_value": None if best is None else float(best[1]),
+        }
+        if self.completed:
+            result = self._ensure_result()
+            pool = self.problem.pool
+            recommended = result.best_config(pool)
+            payload["recommended_config"] = list(recommended)
+            payload["recommended_value"] = float(
+                result.best_actual_value(pool)
+            )
+            payload["cost"] = float(result.cost())
+        return payload
+
+    def status(self) -> dict:
+        collector = self.session.collector
+        return {
+            "session": self.name,
+            "state": "completed" if self.completed else "active",
+            "algorithm": self.strategy.name,
+            "workflow": self.spec.workflow,
+            "objective": self.spec.objective,
+            "iteration": self.session.iteration,
+            "runs_used": collector.runs_used,
+            "budget": collector.budget_runs,
+            "samples": collector.n_measured,
+            "pending_ask": None if self._pending is None else self._pending[0],
+            "spec": self.spec.as_dict(),
+        }
+
+    def _done_payload(self) -> dict:
+        return {"done": True, "completed": True, "best": self.best()}
+
+
+def _write_json_atomic(path: Path, payload: dict) -> None:
+    fd, tmp = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+class SessionManager:
+    """Named tuning sessions with LRU eviction and crash recovery.
+
+    Parameters
+    ----------
+    directory:
+        State directory: ``<name>.spec.json`` (the deterministic
+        recipe) and ``<name>.ckpt`` (the cycle-boundary checkpoint)
+        per session.  On construction the directory is scanned and
+        every checkpointed session is registered as evicted — a daemon
+        restarted after a crash serves them as if it never stopped.
+    store:
+        Optional shared :class:`~repro.store.db.MeasurementStore` (or
+        path): every session's paid measurements are recorded through
+        it and ``warm_start`` specs draw on it.
+    max_active:
+        Resident-session budget.  Exceeding it evicts the least
+        recently touched idle session (its checkpoint is already
+        durable); the next touch rehydrates transparently.
+    """
+
+    def __init__(self, directory, store=None, max_active: int = 64):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        if store is not None:
+            from repro.store.db import MeasurementStore
+
+            if not isinstance(store, MeasurementStore):
+                store = MeasurementStore(store)
+        self.store = store
+        self.max_active = max(1, int(max_active))
+        self._mutex = threading.Lock()
+        self._active: OrderedDict[str, SessionRunner] = OrderedDict()
+        self._locks: dict[str, threading.RLock] = {}
+        self._known: set[str] = set()
+        self.recovered = self._recover()
+
+    # -- paths ----------------------------------------------------------------
+
+    def _spec_path(self, name: str) -> Path:
+        return self.directory / f"{name}.spec.json"
+
+    def _checkpoint_path(self, name: str) -> Path:
+        return self.directory / f"{name}.ckpt"
+
+    def _recover(self) -> list[str]:
+        """Register every checkpointed session found on disk."""
+        names = sorted(
+            p.name[: -len(".spec.json")]
+            for p in self.directory.glob("*.spec.json")
+        )
+        self._known.update(names)
+        if names:
+            telemetry.get().counter("serve.sessions.recovered").inc(len(names))
+        return names
+
+    # -- locking --------------------------------------------------------------
+
+    def _lock_for(self, name: str) -> threading.RLock:
+        with self._mutex:
+            lock = self._locks.get(name)
+            if lock is None:
+                lock = self._locks[name] = threading.RLock()
+            return lock
+
+    @contextmanager
+    def session(self, name: str):
+        """Touch a session: lock it, rehydrate if evicted, yield it."""
+        _check_name(name)
+        lock = self._lock_for(name)
+        with lock:
+            yield self._runner_locked(name)
+        self._evict_overflow()
+
+    def _runner_locked(self, name: str) -> SessionRunner:
+        with self._mutex:
+            runner = self._active.get(name)
+            if runner is not None:
+                self._active.move_to_end(name)
+                return runner
+            known = name in self._known
+        if not known:
+            raise ServeError("unknown_session", f"no session named {name!r}")
+        spec = self._load_spec(name)
+        try:
+            runner = SessionRunner.rehydrate(
+                name, spec, self._checkpoint_path(name), store=self.store
+            )
+        except CheckpointError as exc:
+            raise ServeError(
+                "internal", f"session {name!r} checkpoint unusable: {exc}"
+            ) from exc
+        tel = telemetry.get()
+        tel.counter("serve.sessions.rehydrated").inc()
+        with self._mutex:
+            self._active[name] = runner
+            self._active.move_to_end(name)
+            tel.gauge("serve.sessions.active_peak").set_max(
+                len(self._active)
+            )
+        return runner
+
+    def _load_spec(self, name: str) -> SessionSpec:
+        try:
+            with open(self._spec_path(name), encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError) as exc:
+            raise ServeError(
+                "internal", f"session {name!r} spec unreadable: {exc}"
+            ) from exc
+        return SessionSpec.from_dict(data.get("spec", data))
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def create(self, spec, name: str | None = None) -> dict:
+        """Create (and prepare) a new named session; returns its status."""
+        if not isinstance(spec, SessionSpec):
+            spec = SessionSpec.from_dict(spec)
+        if name is None:
+            name = f"s-{uuid.uuid4().hex[:10]}"
+        _check_name(name)
+        if spec.warm_start != "off" and self.store is None:
+            raise ServeError(
+                "bad_request",
+                "warm_start requires the daemon to be bound to a store "
+                "(start it with --store)",
+            )
+        lock = self._lock_for(name)
+        with lock:
+            with self._mutex:
+                if name in self._known or name in self._active:
+                    raise ServeError(
+                        "conflict", f"session {name!r} already exists"
+                    )
+            runner = SessionRunner(
+                name, spec, self._checkpoint_path(name), store=self.store
+            )
+            _write_json_atomic(
+                self._spec_path(name),
+                {"spec": spec.as_dict(), "protocol": PROTOCOL_VERSION},
+            )
+            runner.start()
+            tel = telemetry.get()
+            tel.counter("serve.sessions.created").inc()
+            with self._mutex:
+                self._known.add(name)
+                self._active[name] = runner
+                self._active.move_to_end(name)
+                tel.gauge("serve.sessions.active_peak").set_max(
+                    len(self._active)
+                )
+            status = runner.status()
+        self._evict_overflow()
+        return status
+
+    def close(self, name: str, delete: bool = False) -> dict:
+        """Detach a session from memory; optionally delete its files.
+
+        Without ``delete`` the checkpoint files stay — the session can
+        be touched again later (it rehydrates).  With ``delete`` the
+        session is gone for good.
+        """
+        _check_name(name)
+        lock = self._lock_for(name)
+        with lock:
+            with self._mutex:
+                known = name in self._known or name in self._active
+                self._active.pop(name, None)
+                if delete:
+                    self._known.discard(name)
+            if not known:
+                raise ServeError(
+                    "unknown_session", f"no session named {name!r}"
+                )
+            if delete:
+                for path in (self._spec_path(name), self._checkpoint_path(name)):
+                    try:
+                        os.unlink(path)
+                    except OSError:
+                        pass
+            telemetry.get().counter("serve.sessions.closed").inc()
+        return {"session": name, "closed": True, "deleted": bool(delete)}
+
+    # -- eviction -------------------------------------------------------------
+
+    def evict(self, name: str) -> bool:
+        """Explicitly evict one session (blocks until it is idle)."""
+        _check_name(name)
+        lock = self._lock_for(name)
+        with lock:
+            with self._mutex:
+                evicted = self._active.pop(name, None) is not None
+        if evicted:
+            telemetry.get().counter("serve.sessions.evicted").inc()
+        return evicted
+
+    def evict_all(self) -> int:
+        """Evict every idle session (tests, drain)."""
+        with self._mutex:
+            names = list(self._active.keys())
+        return sum(self.evict(name) for name in names)
+
+    def _evict_overflow(self) -> None:
+        """Drop least-recently-touched sessions beyond ``max_active``.
+
+        Only idle sessions (lock not held) are eligible; a session
+        mid-request is never evicted out from under its thread.  When
+        every resident session is busy the overflow rides until the
+        next touch — the pool is bounded by in-flight requests anyway.
+        """
+        tel = telemetry.get()
+        while True:
+            with self._mutex:
+                if len(self._active) <= self.max_active:
+                    return
+                candidates = list(self._active.keys())
+            evicted = None
+            for name in candidates:
+                lock = self._lock_for(name)
+                if not lock.acquire(blocking=False):
+                    continue
+                try:
+                    with self._mutex:
+                        if len(self._active) > self.max_active:
+                            evicted = (
+                                self._active.pop(name, None) is not None
+                                and name
+                            )
+                finally:
+                    lock.release()
+                if evicted:
+                    tel.counter("serve.sessions.evicted").inc()
+                    break
+            if not evicted:
+                return
+
+    # -- views ----------------------------------------------------------------
+
+    def ask(self, name: str) -> dict:
+        with self.session(name) as runner:
+            return runner.ask()
+
+    def tell(self, name: str, ask_id) -> dict:
+        with self.session(name) as runner:
+            return runner.tell(ask_id)
+
+    def best(self, name: str) -> dict:
+        with self.session(name) as runner:
+            return runner.best()
+
+    def status(self, name: str) -> dict:
+        with self.session(name) as runner:
+            return runner.status()
+
+    def result(self, name: str) -> AutotuneResult:
+        """The finished session's :class:`AutotuneResult` (in-process use)."""
+        with self.session(name) as runner:
+            return runner._ensure_result()
+
+    def list_sessions(self) -> list[dict]:
+        """Light listing: resident sessions report live state, evicted
+        ones only their existence (touching them would rehydrate)."""
+        with self._mutex:
+            active = dict(self._active)
+            known = set(self._known)
+        rows = []
+        for name in sorted(known | set(active)):
+            runner = active.get(name)
+            if runner is not None:
+                row = {
+                    "session": name,
+                    "state": "completed" if runner.completed else "active",
+                    "algorithm": runner.strategy.name,
+                }
+            else:
+                row = {"session": name, "state": "evicted", "algorithm": None}
+            rows.append(row)
+        return rows
+
+    def stats(self) -> dict:
+        with self._mutex:
+            active = len(self._active)
+            known = len(self._known)
+        return {
+            "active": active,
+            "evicted": max(0, known - active),
+            "known": known,
+            "max_active": self.max_active,
+            "directory": str(self.directory),
+            "store": None if self.store is None else self.store.path,
+        }
+
+    def shutdown(self) -> None:
+        """Drain-and-checkpoint: drop every resident session.
+
+        Checkpoints are already durable at the last cycle boundary and
+        pending asks are re-derivable, so dropping the runners *is* the
+        checkpoint step; the daemon calls this after in-flight requests
+        have drained.
+        """
+        self.evict_all()

@@ -1,0 +1,180 @@
+"""Session specs: the JSON-serialisable recipe of one tuning session.
+
+A served session must be *reconstructible from a small JSON document*:
+eviction drops the in-memory session and keeps only (spec, checkpoint)
+on disk; crash recovery re-lists those files and rebuilds.  Everything
+a :class:`~repro.core.problem.TuningProblem` needs — pool, component
+histories, RNG — is a deterministic function of the spec fields, so a
+rehydrated problem is bit-identical to the one the checkpoint was
+written from (the same property PR 2's ``--resume`` relies on).
+
+The builders here deliberately mirror
+:meth:`repro.core.autotuner.AutoTuner.tune`'s assembly (pool, histories,
+problem) so a session driven through the server matches an offline
+``algorithm.tune(problem)`` run bit for bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields
+
+from repro.serve.protocol import ServeError
+
+__all__ = [
+    "ALGORITHMS",
+    "SessionSpec",
+    "build_algorithm",
+    "build_problem",
+]
+
+#: The 8 tuning algorithms a session may request (CLI spelling).
+ALGORITHMS = (
+    "ceal", "rs", "al", "geist", "alph", "bo", "ceal-bo", "lowfid",
+)
+
+_WORKFLOWS = ("LV", "HS", "GP")
+_OBJECTIVES = ("execution_time", "computer_time")
+_WARM_STARTS = ("off", "components", "full")
+
+
+@dataclass(frozen=True)
+class SessionSpec:
+    """Deterministic recipe of one served tuning session.
+
+    Field semantics match the ``repro tune`` CLI / ``AutoTuner``:
+    ``seed`` drives pool sampling, component histories, and the tuning
+    RNG; ``warm_start`` needs the daemon to be bound to a measurement
+    store.  ``history_size`` is exposed (the AutoTuner default is 500)
+    so hundred-session load tests can keep setup cheap.
+    """
+
+    workflow: str = "LV"
+    objective: str = "computer_time"
+    algorithm: str = "ceal"
+    budget: int = 50
+    pool_size: int = 1000
+    seed: int = 0
+    use_history: bool = False
+    warm_start: str = "off"
+    noise_sigma: float = 0.05
+    history_size: int = 500
+
+    def __post_init__(self) -> None:
+        if self.workflow not in _WORKFLOWS:
+            raise ServeError(
+                "bad_request",
+                f"workflow must be one of {_WORKFLOWS}, got {self.workflow!r}",
+            )
+        if self.objective not in _OBJECTIVES:
+            raise ServeError(
+                "bad_request",
+                f"objective must be one of {_OBJECTIVES}, "
+                f"got {self.objective!r}",
+            )
+        if self.algorithm not in ALGORITHMS:
+            raise ServeError(
+                "bad_request",
+                f"algorithm must be one of {ALGORITHMS}, "
+                f"got {self.algorithm!r}",
+            )
+        if self.warm_start not in _WARM_STARTS:
+            raise ServeError(
+                "bad_request",
+                f"warm_start must be one of {_WARM_STARTS}, "
+                f"got {self.warm_start!r}",
+            )
+        if int(self.budget) < 2:
+            raise ServeError("bad_request", "budget must be at least 2")
+        if int(self.pool_size) < 2:
+            raise ServeError("bad_request", "pool_size must be at least 2")
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SessionSpec":
+        """Build a spec from a JSON body, rejecting unknown fields."""
+        if not isinstance(data, dict):
+            raise ServeError("bad_request", "spec must be a JSON object")
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ServeError(
+                "bad_request", f"unknown spec field(s): {', '.join(unknown)}"
+            )
+        try:
+            return cls(**data)
+        except (TypeError, ValueError) as exc:
+            raise ServeError("bad_request", f"bad spec: {exc}") from None
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+def build_algorithm(spec: SessionSpec):
+    """The spec's tuning algorithm instance (strategy factory)."""
+    from repro.core import (
+        ActiveLearning,
+        Alph,
+        BayesianOptimization,
+        Ceal,
+        CealSettings,
+        Geist,
+        RandomSampling,
+    )
+    from repro.core.algorithms.low_fidelity_only import LowFidelityOnly
+
+    name = spec.algorithm
+    if name == "ceal":
+        return Ceal(CealSettings(use_history=spec.use_history))
+    if name == "rs":
+        return RandomSampling()
+    if name == "al":
+        return ActiveLearning()
+    if name == "geist":
+        return Geist()
+    if name == "alph":
+        return Alph(use_history=spec.use_history)
+    if name == "bo":
+        return BayesianOptimization()
+    if name == "ceal-bo":
+        return BayesianOptimization(bootstrap=True)
+    if name == "lowfid":
+        return LowFidelityOnly()
+    raise ServeError("bad_request", f"unknown algorithm {name!r}")
+
+
+def build_problem(spec: SessionSpec, store=None):
+    """A fresh :class:`~repro.core.problem.TuningProblem` for ``spec``.
+
+    Deterministic given (spec, store contents): the pool and component
+    histories are regenerated from the spec's seeds (served from the
+    process/disk caches when warm), exactly as ``AutoTuner.tune`` builds
+    them — which is what makes eviction and crash recovery transparent.
+    """
+    from repro.core.objectives import get_objective
+    from repro.core.problem import TuningProblem
+    from repro.workflows import make_workflow
+    from repro.workflows.pools import generate_component_history, generate_pool
+
+    workflow = make_workflow(spec.workflow)
+    pool = generate_pool(
+        workflow, spec.pool_size, seed=spec.seed, noise_sigma=spec.noise_sigma
+    )
+    histories = {}
+    for label in workflow.labels:
+        if workflow.app(label).space.size() > 1:
+            histories[label] = generate_component_history(
+                workflow,
+                label,
+                size=spec.history_size,
+                seed=spec.seed,
+                noise_sigma=spec.noise_sigma,
+            )
+    return TuningProblem.create(
+        workflow=workflow,
+        objective=get_objective(spec.objective),
+        pool=pool,
+        budget_runs=int(spec.budget),
+        seed=int(spec.seed),
+        histories=histories,
+        store=store,
+        warm_start=spec.warm_start,
+    )

@@ -18,9 +18,12 @@ benchmark shards sharing one file):
 * each batch of rows is written in a single transaction — the same
   atomic-merge discipline as the telemetry worker-snapshot merge: a
   reader observes a batch entirely or not at all;
-* connections are opened lazily *per process*: a store object inherited
-  through ``fork`` transparently re-opens in the child instead of
-  sharing the parent's connection (which SQLite forbids).
+* connections are opened lazily *per thread and per process*: a store
+  object inherited through ``fork`` transparently re-opens in the
+  child instead of sharing the parent's connection (which SQLite
+  forbids), and each thread of a threaded server gets its own
+  connection so writers contend only inside SQLite's WAL (bounded by
+  the busy timeout), never on a process-wide Python lock.
 
 Deduplication
 -------------
@@ -274,25 +277,53 @@ class MeasurementStore:
         self.path = str(path)
         self.busy_timeout = float(busy_timeout)
         self.retries = int(retries)
-        self._db: sqlite3.Connection | None = None
-        self._pid: int | None = None
+        self._local = threading.local()
         self._lock = threading.Lock()
+        self._conns: list[sqlite3.Connection] = []
+        self._pid: int | None = None
+        self._generation = 0
         self._context_ids: dict[str, int] = {}
         self._conn()  # validate schema eagerly
 
     # -- connection management ------------------------------------------------
 
     def _conn(self) -> sqlite3.Connection:
-        """The current process's connection (re-opened after ``fork``)."""
+        """The calling thread's connection (re-opened after ``fork``).
+
+        One connection per (process, thread, close-generation): a store
+        inherited through ``fork`` re-opens in the child, a store shared
+        across server threads gives each thread its own connection (so
+        concurrent writers serialize inside SQLite, not on a Python
+        lock), and :meth:`close` invalidates every thread's cached
+        connection at once by bumping the generation.
+        """
         pid = os.getpid()
-        if self._db is None or self._pid != pid:
-            with telemetry.get().span(
-                "store.open", category="store", path=self.path
-            ):
-                self._db = self._open()
-            self._pid = pid
-            self._context_ids = {}
-        return self._db
+        local = self._local
+        conn = getattr(local, "conn", None)
+        if (
+            conn is not None
+            and local.pid == pid
+            and local.generation == self._generation
+        ):
+            return conn
+        with telemetry.get().span(
+            "store.open", category="store", path=self.path
+        ):
+            conn = self._open()
+        with self._lock:
+            if self._pid != pid:
+                # Forked child: the parent's connections are unusable
+                # here, and its context-id cache may not match what the
+                # child will observe after its own writes.
+                self._conns = []
+                self._context_ids = {}
+                self._pid = pid
+            self._conns.append(conn)
+            generation = self._generation
+        local.conn = conn
+        local.pid = pid
+        local.generation = generation
+        return conn
 
     def _open(self) -> sqlite3.Connection:
         conn = sqlite3.connect(
@@ -350,12 +381,25 @@ class MeasurementStore:
                 delay *= 2
 
     def close(self) -> None:
-        """Close this process's connection (the file remains valid)."""
-        if self._db is not None and self._pid == os.getpid():
-            self._db.close()
-        self._db = None
-        self._pid = None
-        self._context_ids = {}
+        """Close this process's connections (the file remains valid).
+
+        Safe to call from any thread: every thread's cached connection
+        is invalidated (the next use transparently re-opens), and the
+        connections themselves are closed here — SQLite allows that
+        because they are opened with ``check_same_thread=False``.
+        """
+        with self._lock:
+            conns = []
+            if self._pid == os.getpid():
+                conns = self._conns
+                self._conns = []
+            self._generation += 1
+            self._context_ids = {}
+        for conn in conns:
+            try:
+                conn.close()
+            except sqlite3.Error:
+                pass
 
     # -- contexts -------------------------------------------------------------
 
@@ -367,7 +411,7 @@ class MeasurementStore:
         conn = self._conn()
 
         def upsert():
-            with self._lock, conn:
+            with conn:
                 conn.execute(
                     "INSERT OR IGNORE INTO contexts"
                     " (kind, workflow, label, space_sig, encoding_sig,"
@@ -438,7 +482,7 @@ class MeasurementStore:
         conn = self._conn()
 
         def write():
-            with self._lock, conn:
+            with conn:
                 before = conn.total_changes
                 conn.executemany(
                     "INSERT OR IGNORE INTO measurements"
@@ -537,7 +581,7 @@ class MeasurementStore:
         conn = self._conn()
 
         def write():
-            with self._lock, conn:
+            with conn:
                 conn.execute(
                     "INSERT OR IGNORE INTO models"
                     " (key, kind, payload, created_at) VALUES (?, ?, ?, ?)",
@@ -571,7 +615,7 @@ class MeasurementStore:
             return pickle.loads(row[0])
         except Exception:
             def drop():
-                with self._lock, conn:
+                with conn:
                     conn.execute("DELETE FROM models WHERE key=?", (key,))
 
             self._retry(drop)
@@ -585,7 +629,7 @@ class MeasurementStore:
         text = json.dumps(value, sort_keys=True)
 
         def write():
-            with self._lock, conn:
+            with conn:
                 conn.execute(
                     "INSERT OR REPLACE INTO metadata(key, value, updated_at)"
                     " VALUES (?, ?, ?)",
@@ -634,7 +678,7 @@ class MeasurementStore:
         conn = self._conn()
 
         def write():
-            with self._lock, conn:
+            with conn:
                 cur = conn.execute(
                     "INSERT INTO telemetry_runs"
                     " (run_key, label, session, suite, git_rev, machine,"
@@ -853,7 +897,7 @@ class MeasurementStore:
         deleted = {"measurements": 0, "contexts": 0, "models": 0}
 
         def run():
-            with self._lock, conn:
+            with conn:
                 if keep_sessions is not None:
                     keep = [
                         r[0]

@@ -209,6 +209,80 @@ class TestCheckpointWithStore:
         assert bound.store.session == session  # unchanged
 
 
+class TestAtomicCheckpoint:
+    """A crash mid-save must never corrupt the previous checkpoint.
+
+    ``save_checkpoint`` stages into a unique temp file and publishes
+    with ``os.replace``; a failure at either step (serialisation dies
+    half-way, or the rename itself) leaves the previous checkpoint
+    byte-identical, loadable, and the directory free of temp litter.
+    """
+
+    def _checkpointed(self, lv, lv_pool, lv_histories, tmp_path):
+        path = tmp_path / "atomic.ckpt"
+        Ceal(CealSettings(use_history=True)).tune(
+            make_problem(lv, lv_pool, lv_histories, budget=20),
+            checkpoint_path=path,
+            max_cycles=1,
+        )
+        problem = make_problem(lv, lv_pool, lv_histories, budget=20)
+        strategy = Ceal(CealSettings(use_history=True)).make_strategy()
+        from repro.core.driver import TuningSession
+
+        session = TuningSession.start(problem)
+        strategy.prepare(session)  # a saveable state, as in the driver
+        return path, session, strategy
+
+    def test_torn_serialisation_keeps_previous_checkpoint(
+        self, lv, lv_pool, lv_histories, tmp_path, monkeypatch
+    ):
+        import pickle as real_pickle
+
+        from repro.core.driver import save_checkpoint
+
+        path, session, strategy = self._checkpointed(
+            lv, lv_pool, lv_histories, tmp_path
+        )
+        before = path.read_bytes()
+
+        def torn_dump(obj, handle, protocol=None):
+            handle.write(real_pickle.dumps(obj)[:10])  # partial write...
+            raise OSError("disk full")  # ...then the crash
+
+        monkeypatch.setattr("repro.core.driver.pickle.dump", torn_dump)
+        with pytest.raises(OSError):
+            save_checkpoint(path, session, strategy, False)
+        assert path.read_bytes() == before
+        assert list(tmp_path.glob("*.tmp")) == []
+        assert load_checkpoint(path)["version"] >= 1
+
+    def test_failed_publish_keeps_previous_checkpoint(
+        self, lv, lv_pool, lv_histories, tmp_path, monkeypatch
+    ):
+        from repro.core.driver import save_checkpoint
+
+        path, session, strategy = self._checkpointed(
+            lv, lv_pool, lv_histories, tmp_path
+        )
+        before = path.read_bytes()
+
+        def failing_replace(src, dst):
+            raise OSError("rename interrupted")
+
+        monkeypatch.setattr("repro.core.driver.os.replace", failing_replace)
+        with pytest.raises(OSError):
+            save_checkpoint(path, session, strategy, False)
+        monkeypatch.undo()
+        assert path.read_bytes() == before
+        assert list(tmp_path.glob("*.tmp")) == []
+        # The surviving checkpoint still resumes to the straight result.
+        algo = lambda: Ceal(CealSettings(use_history=True))
+        prob = lambda: make_problem(lv, lv_pool, lv_histories, budget=20)
+        straight = algo().tune(prob())
+        resumed = algo().tune(prob(), checkpoint_path=path, resume=True)
+        assert comparable(resumed) == comparable(straight)
+
+
 class TestAutoTunerCheckpoint:
     def test_facade_passthrough(self, lv, tmp_path):
         path = tmp_path / "facade.ckpt"

@@ -4,9 +4,9 @@ Covers the core :mod:`repro.store` contracts: content-signature
 stability, write-through recording with row-key dedupe, the typed query
 API and its stable iteration order, the model registry's
 refit-on-miss equivalence, metadata/stats/gc/export maintenance, and —
-the concurrency stress — N forked processes writing interleaved batches
-to one database with no lost rows and no ``database is locked``
-surfacing.
+the concurrency stresses — N forked processes *and* N threads in one
+process writing interleaved batches to one database with no lost rows
+and no ``database is locked`` surfacing.
 """
 
 from __future__ import annotations
@@ -14,6 +14,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import sqlite3
+import threading
 
 import numpy as np
 import pytest
@@ -397,4 +398,82 @@ class TestConcurrentWriters:
         assert seen == 2
         assert store._conn() is parent_conn  # parent connection untouched
         assert len(store.query(space_sig="space-a")) == 2
+        store.close()
+
+
+class TestConcurrentThreads:
+    """The threaded mirror of the forked-writer stress.
+
+    Since connections became per-thread (not one process-wide
+    serialized handle), threads sharing one ``MeasurementStore`` must
+    interleave writes without losing rows and without Python-level
+    serialization through a store lock.
+    """
+
+    def test_no_lost_rows_under_threaded_writers(self, tmp_path):
+        store = MeasurementStore(
+            tmp_path / "stress.db", busy_timeout=10.0, retries=10
+        )
+        context = make_context()
+        written = [0] * N_WRITERS
+        failures = []
+
+        def writer(worker: int) -> None:
+            try:
+                for i in range(ROWS_PER_WRITER):
+                    written[worker] += store.record(
+                        context,
+                        [
+                            {
+                                "config": (worker, i),
+                                "value": float(worker * 1000 + i),
+                                "execution_seconds": 1.0,
+                                "computer_core_hours": 0.1,
+                                "seed": worker,
+                                "session": f"thread-{worker}",
+                            }
+                        ],
+                    )
+            except BaseException as exc:  # surfaced in the main thread
+                failures.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(w,))
+            for w in range(N_WRITERS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not failures
+        assert written == [ROWS_PER_WRITER] * N_WRITERS
+        out = store.query(space_sig="space-a")
+        assert len(out) == N_WRITERS * ROWS_PER_WRITER
+        assert len(set(out.configs)) == N_WRITERS * ROWS_PER_WRITER
+        store.close()
+
+    def test_threads_get_distinct_reused_connections(self, store):
+        main_conn = store._conn()
+        assert store._conn() is main_conn  # same thread: cached
+        seen = []
+
+        def probe():
+            seen.append((store._conn(), store._conn()))
+
+        thread = threading.Thread(target=probe)
+        thread.start()
+        thread.join()
+        (first, second), = seen
+        assert first is second  # cached within the other thread too
+        assert first is not main_conn  # but never shared across threads
+
+    def test_close_invalidates_every_threads_connection(self, store):
+        store.record(make_context(), make_rows(1))
+        stale = store._conn()
+        store.close()
+        # The generation bump means the old cached handle is not
+        # resurrected; a fresh connection serves the same data.
+        fresh = store._conn()
+        assert fresh is not stale
+        assert len(store.query(space_sig="space-a")) == 1
         store.close()
