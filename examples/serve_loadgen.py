@@ -53,9 +53,10 @@ def main(argv=None) -> int:
         "--budget", type=int, default=6,
         help="per-session measurement budget (default: 6)")
     parser.add_argument(
-        "--algorithms", default="rs,lowfid",
+        "--algorithms", default="rs,lowfid,ceal",
         help="comma-separated algorithms cycled across sessions "
-        "(default: rs,lowfid)")
+        "(default: rs,lowfid,ceal — the model-fitting strategies "
+        "exercise the rehydration caches)")
     parser.add_argument(
         "--max-active", type=int, default=16,
         help="inline daemon resident-session budget; smaller than "
@@ -94,6 +95,8 @@ def main(argv=None) -> int:
         required_rps=4.0,
         ask_p95_budget_ms=3_000.0,
         tell_p95_budget_ms=1_500.0,
+        create_p95_budget_ms=1_500.0,
+        rehydrate_p95_budget_ms=750.0,
     )
     text = json.dumps(report, indent=1, sort_keys=True)
     print(text)

@@ -13,6 +13,8 @@ import math
 from collections.abc import Callable
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.config.space import Configuration, ParameterSpace
 
 __all__ = [
@@ -127,6 +129,45 @@ class AllocationConstraint:
                 return False
             total_nodes += nodes_for(procs, ppn)
         return total_nodes <= self.max_nodes
+
+    def feasible_batch(self, space: ParameterSpace, idx: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`__call__` over a matrix of value indices.
+
+        ``idx`` is ``(k, dimension)``, each row a configuration as
+        per-parameter value indices (what rejection sampling draws).
+        Returns a boolean mask; ``mask[r]`` equals
+        ``self(config_of_row_r)`` exactly — the arithmetic is the same
+        integer arithmetic, just batched — so the sampler's accepted
+        set is unchanged.  Placement parameters are integer-valued by
+        construction, which is what makes the column lookups arrayable.
+        """
+        idx = np.asarray(idx)
+        columns: dict[str, np.ndarray] = {}
+
+        def col(name: str) -> np.ndarray:
+            cached = columns.get(name)
+            if cached is None:
+                position = space.position(name)
+                table = np.asarray(
+                    space.parameters[position].values, dtype=np.int64
+                )
+                cached = columns[name] = table[idx[:, position]]
+            return cached
+
+        ok = np.ones(len(idx), dtype=bool)
+        total_nodes = np.full(len(idx), self.extra_nodes, dtype=np.int64)
+        for comp in self.components:
+            procs = col(comp.procs_names[0]).copy()
+            for name in comp.procs_names[1:]:
+                procs *= col(name)
+            ppn = col(comp.ppn_name) if comp.ppn_name is not None else 1
+            threads = (
+                col(comp.threads_name) if comp.threads_name is not None else 1
+            )
+            ok &= ppn * threads <= self.cores_per_node
+            ok &= procs >= ppn
+            total_nodes += -(-procs // ppn)
+        return ok & (total_nodes <= self.max_nodes)
 
     def total_nodes(self, config: Configuration) -> int:
         """Node footprint of a configuration (defined also when infeasible)."""

@@ -225,27 +225,59 @@ class ParameterSpace:
             ``max_tries_factor * n`` draws so that an unsatisfiable
             constraint fails loudly instead of spinning forever.
         """
+        # Chunked rejection sampling.  ``Generator.integers`` consumes
+        # the bit stream element-wise in order, so one tiled array call
+        # per chunk draws the exact same index sequence as the former
+        # per-parameter scalar calls — accepted configurations (a prefix
+        # of the try sequence) are bit-identical to the sequential
+        # implementation; only the generator's position after an
+        # over-drawn final chunk differs, and every caller uses a fresh
+        # single-purpose generator.  Constraints exposing
+        # ``feasible_batch`` (the allocation rules) are evaluated
+        # vectorized over the whole chunk.
         out: list[Configuration] = []
         seen: set[Configuration] = set()
         tries = 0
         limit = max_tries_factor * max(n, 1)
+        highs = np.fromiter(
+            (p.n_options for p in self.parameters),
+            dtype=np.int64,
+            count=len(self.parameters),
+        )
+        tables = [p.values for p in self.parameters]
+        batch_eval = getattr(constraint, "feasible_batch", None)
         while len(out) < n:
-            tries += 1
-            if tries > limit:
+            if tries >= limit:
                 raise RuntimeError(
                     f"rejection sampling exceeded {limit} draws; the "
                     "constraint is too tight for this space"
                 )
-            config = tuple(
-                p.values[rng.integers(p.n_options)] for p in self.parameters
-            )
-            if constraint is not None and not constraint(config):
-                continue
-            if unique:
-                if config in seen:
+            chunk = min(limit - tries, max(64, 2 * (n - len(out))))
+            idx = rng.integers(np.tile(highs, chunk)).reshape(chunk, -1)
+            tries += chunk
+            if batch_eval is not None:
+                rows = np.flatnonzero(
+                    np.asarray(batch_eval(self, idx), dtype=bool)
+                )
+            else:
+                rows = range(chunk)
+            for r in rows:
+                config = tuple(
+                    table[i] for table, i in zip(tables, idx[r].tolist())
+                )
+                if (
+                    batch_eval is None
+                    and constraint is not None
+                    and not constraint(config)
+                ):
                     continue
-                seen.add(config)
-            out.append(config)
+                if unique:
+                    if config in seen:
+                        continue
+                    seen.add(config)
+                out.append(config)
+                if len(out) == n:
+                    break
         return out
 
     def enumerate(self) -> Iterator[Configuration]:

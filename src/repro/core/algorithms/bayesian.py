@@ -107,6 +107,7 @@ class BayesianOptimizationStrategy(SearchStrategy):
                 problem.objective,
                 self._component_data,
                 random_state=problem.seed,
+                registry=problem.model_registry,
             )
         )
 

@@ -53,6 +53,7 @@ class LowFidelityOnlyStrategy(SearchStrategy):
                 problem.objective,
                 self._component_data,
                 random_state=problem.seed,
+                registry=problem.model_registry,
             )
         )
 

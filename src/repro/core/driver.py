@@ -52,9 +52,11 @@ __all__ = [
     "TuningDriver",
     "TuningEvent",
     "TuningSession",
+    "checkpoint_payload",
     "load_checkpoint",
     "restore_session",
     "save_checkpoint",
+    "save_checkpoint_payload",
     "split_batches",
     "validate_checkpoint",
 ]
@@ -417,22 +419,21 @@ class CheckpointError(RuntimeError):
     """A checkpoint file is unreadable or belongs to another session."""
 
 
-def save_checkpoint(
-    path: str | Path,
+def checkpoint_payload(
     session: TuningSession,
     strategy: SearchStrategy,
     completed: bool = False,
-) -> None:
-    """Atomically write the session's resumable state to ``path``.
+) -> dict:
+    """The session's resumable state as a checkpoint payload dict.
 
-    The payload is pickled to a uniquely named temporary file in the
-    target directory, fsynced, and renamed over ``path``: a crash (or a
-    concurrent checkpointer in a threaded server) mid-write can never
-    leave a torn checkpoint behind — readers see the previous complete
-    snapshot or the new one, nothing in between.
+    Exactly what :func:`save_checkpoint` pickles; exposed so the serve
+    layer's warm-snapshot cache can keep the parsed payload of an
+    evicted session in memory and restore from it without a disk
+    round-trip.  Mutable session containers are copied (``events``,
+    and every ``state_dict`` builds fresh dicts), so a stashed payload
+    is safe against later mutation of the live session.
     """
-    path = Path(path)
-    payload = {
+    return {
         "version": CHECKPOINT_VERSION,
         "algorithm": strategy.name,
         "workflow": session.problem.workflow.name,
@@ -448,6 +449,28 @@ def save_checkpoint(
         "tracker": session.tracker.state_dict(),
         "strategy": strategy.state_dict(),
     }
+
+
+def save_checkpoint(
+    path: str | Path,
+    session: TuningSession,
+    strategy: SearchStrategy,
+    completed: bool = False,
+) -> None:
+    """Atomically write the session's resumable state to ``path``.
+
+    The payload is pickled to a uniquely named temporary file in the
+    target directory, fsynced, and renamed over ``path``: a crash (or a
+    concurrent checkpointer in a threaded server) mid-write can never
+    leave a torn checkpoint behind — readers see the previous complete
+    snapshot or the new one, nothing in between.
+    """
+    save_checkpoint_payload(path, checkpoint_payload(session, strategy, completed))
+
+
+def save_checkpoint_payload(path: str | Path, payload: dict) -> None:
+    """Atomically persist an already-built checkpoint payload."""
+    path = Path(path)
     fd, tmp = tempfile.mkstemp(
         dir=path.parent or Path("."), prefix=path.name + ".", suffix=".tmp"
     )

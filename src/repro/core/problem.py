@@ -49,6 +49,7 @@ class TuningProblem:
     seed: int
     warm_start: str = "off"
     _registry: object | None = field(init=False, default=None, repr=False)
+    _encoder: object | None = field(init=False, default=None, repr=False)
 
     @classmethod
     def create(
@@ -62,12 +63,17 @@ class TuningProblem:
         failure_rate: float = 0.0,
         store=None,
         warm_start: str = "off",
+        encoder=None,
     ) -> "TuningProblem":
         """Assemble a problem with a fresh budgeted collector.
 
         ``store`` may be a :class:`~repro.store.db.MeasurementStore`
         or a database path; it is bound to the collector for
         write-through recording and enables the ``warm_start`` modes.
+        ``encoder`` optionally shares a prebuilt (possibly warm)
+        :class:`~repro.config.encoding.ConfigEncoder` instead of
+        deriving a fresh one per surrogate — encoders only memoise
+        deterministic encodings, so sharing never changes results.
         """
         if budget_runs < 2:
             raise ValueError("budget_runs must be at least 2")
@@ -100,7 +106,7 @@ class TuningProblem:
         rng = np.random.default_rng(
             stable_seed("tuning", workflow.name, objective.name, seed)
         )
-        return cls(
+        problem = cls(
             workflow=workflow,
             objective=objective,
             pool=pool,
@@ -109,6 +115,8 @@ class TuningProblem:
             seed=seed,
             warm_start=warm_start,
         )
+        problem._encoder = encoder
+        return problem
 
     @property
     def store(self):
@@ -117,20 +125,33 @@ class TuningProblem:
 
     @property
     def model_registry(self):
-        """Per-problem fitted-model registry (``None`` without a store).
+        """Per-problem fitted-model registry (``None`` without one).
 
         Loading a registered model is equivalent to refitting — fits
         are deterministic functions of their inputs — so the registry
-        saves wall-clock, never changes results.
+        saves wall-clock, never changes results.  An injected registry
+        (:meth:`attach_registry`, e.g. the serve layer's shared
+        in-process front) wins; otherwise a store-backed registry is
+        built lazily when the collector is bound to a store.
         """
+        if self._registry is not None:
+            return self._registry
         binding = self.collector.store
         if binding is None:
             return None
-        if self._registry is None:
-            from repro.store.registry import ModelRegistry
+        from repro.store.registry import ModelRegistry
 
-            self._registry = ModelRegistry(binding.store)
+        self._registry = ModelRegistry(binding.store)
         return self._registry
+
+    def attach_registry(self, registry) -> None:
+        """Inject a fitted-model registry (``fit_or_load`` contract).
+
+        Used by the serve layer to front this problem's fits with a
+        process-wide cache; because registry loads are deterministic
+        refit-equivalents, attaching one never changes results.
+        """
+        self._registry = registry
 
     @property
     def pool_configs(self) -> tuple[Configuration, ...]:
@@ -144,10 +165,12 @@ class TuningProblem:
 
     def make_surrogate(self, extra_features=None, salt: int = 0) -> SurrogateModel:
         """A fresh reference surrogate, deterministically seeded."""
+        encoder = self._encoder if self._encoder is not None else self.workflow.encoder()
         return default_surrogate(
-            self.workflow.encoder(),
+            encoder,
             random_state=stable_seed("surrogate", self.seed, salt) % (2**31),
             extra_features=extra_features,
+            registry=self.model_registry,
         )
 
     def sample_unmeasured(

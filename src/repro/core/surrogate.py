@@ -36,6 +36,11 @@ class SurrogateModel:
     encoder: ConfigEncoder
     regressor: GradientBoostedTrees
     extra_features: object | None = None
+    #: Optional fitted-model registry (``fit_or_load`` contract).  A
+    #: registry load is a deterministic refit-equivalent, so attaching
+    #: one never changes predictions — it only skips wall-clock.  Not
+    #: pickled: registries hold process-local caches/store handles.
+    registry: object | None = None
 
     _fitted: bool = field(init=False, default=False)
     #: ``{config: prediction}`` for the current fit; cleared whenever the
@@ -68,8 +73,20 @@ class SurrogateModel:
             raise ValueError("configs and values must align")
         if len(configs) == 0:
             raise ValueError("cannot fit a surrogate on zero samples")
-        self.regressor = self.regressor.clone()
-        self.regressor.fit(self._features(configs), values)
+        X = self._features(configs)
+        template = self.regressor.clone()
+
+        def _fit():
+            template.fit(X, values)
+            return template
+
+        if self.registry is not None:
+            from repro.store.registry import training_key
+
+            key = training_key("surrogate", "", "", X, values, repr(template))
+            self.regressor = self.registry.fit_or_load(key, _fit, kind="surrogate")
+        else:
+            self.regressor = _fit()
         self._fitted = True
         self._cache = {}
         return self
@@ -104,13 +121,21 @@ class SurrogateModel:
             encoder=self.encoder,
             regressor=self.regressor.clone(),
             extra_features=self.extra_features,
+            registry=self.registry,
         )
+
+    def __getstate__(self) -> dict:
+        """Pickle without the registry (process-local, not state)."""
+        state = dict(self.__dict__)
+        state["registry"] = None
+        return state
 
 
 def default_surrogate(
     encoder: ConfigEncoder,
     random_state: int | None = None,
     extra_features: object | None = None,
+    registry: object | None = None,
 ) -> SurrogateModel:
     """The reference surrogate: 150 depth-4 trees, shrinkage 0.08, log target."""
     return SurrogateModel(
@@ -126,4 +151,5 @@ def default_surrogate(
             random_state=random_state,
         ),
         extra_features=extra_features,
+        registry=registry,
     )

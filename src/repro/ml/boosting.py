@@ -160,18 +160,23 @@ class GradientBoostedTrees:
             # rank slices instead of re-ranking float columns.
             gid = _feature_group_ids(X)
 
+        # Loop-invariant bases: the hessian of ½(pred − t)² is one for
+        # every row of every round, and the identity row/column indices
+        # only matter when sub-sampling is off.
+        hess = np.ones(n)
+        all_rows = np.arange(n)
+        all_cols = np.arange(d)
         for _ in range(self.n_estimators):
             grad = pred - target  # d/dpred ½(pred − t)²
-            hess = np.ones(n)
             rows = (
                 rng.choice(n, size=n_rows, replace=False)
                 if n_rows < n
-                else np.arange(n)
+                else all_rows
             )
             cols = (
                 np.sort(rng.choice(d, size=n_cols, replace=False))
                 if n_cols < d
-                else np.arange(d)
+                else all_cols
             )
             if self.method == "hist":
                 from repro.ml.binning import grow_hist_tree
@@ -199,6 +204,13 @@ class GradientBoostedTrees:
                     # No subsampling: the np.ix_ slices would be exact
                     # copies, so skip them (identical floats either way).
                     tree.fit_gradients(X, grad, hess, group_ids=gid)
+                elif n_cols == d:
+                    # Row subsampling only: plain row gathers pick the
+                    # same elements as the np.ix_ outer product, without
+                    # materialising the index mesh.
+                    tree.fit_gradients(
+                        X[rows], grad[rows], hess[rows], group_ids=gid[rows]
+                    )
                 else:
                     tree.fit_gradients(
                         X[np.ix_(rows, cols)],

@@ -131,6 +131,18 @@ class PackedEnsemble:
     def n_trees(self) -> int:
         return self.roots.size
 
+    @property
+    def nbytes(self) -> int:
+        """Total bytes of the packed node arrays (cache accounting)."""
+        return int(
+            self.feature.nbytes
+            + self.threshold.nbytes
+            + self.left.nbytes
+            + self.right.nbytes
+            + self.value.nbytes
+            + self.roots.nbytes
+        )
+
     def _validate(self, X: np.ndarray) -> np.ndarray:
         X = np.asarray(X, dtype=np.float64)
         if X.ndim != 2:

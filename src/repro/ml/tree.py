@@ -66,6 +66,22 @@ def _feature_group_ids(X: np.ndarray) -> np.ndarray:
 
 
 @dataclass
+class _FitScratch:
+    """Per-fit reusable buffers for the split search.
+
+    Tiny-node trees spend comparable time allocating index/count
+    arrays as computing gains; these are pure functions of the fit
+    shape, so one fit-wide base array (sliced into views per node)
+    replaces thousands of per-node allocations.  Nothing here affects
+    any computed value — the slices hold exactly the integers the
+    per-node ``arange`` calls produced.
+    """
+
+    col_idx: np.ndarray
+    hl_base: np.ndarray
+
+
+@dataclass
 class RegressionTree:
     """CART regression tree (exact greedy, second-order gain).
 
@@ -170,6 +186,14 @@ class RegressionTree:
         # cumsums of ones are exact for any feasible m), so the split
         # search can synthesize them instead of gathering and summing.
         unit_h = bool(np.all(h == 1.0))
+        # Per-fit scratch reused by every _best_split call: the column
+        # broadcaster, the 1..n-1 count bases (sliced per node — views,
+        # no allocation), and a per-node-size memo of the
+        # min_samples_leaf mask (it depends only on the node row count).
+        scratch = _FitScratch(
+            col_idx=np.arange(X.shape[1], dtype=np.int64)[None, :],
+            hl_base=np.arange(1, max(n, 2), dtype=np.float64)[:, None],
+        )
 
         feature: list[int] = []
         threshold: list[float] = []
@@ -199,7 +223,7 @@ class RegressionTree:
             value[node] = leaf_weight(rows)
             if depth >= self.max_depth or rows.size < 2 * self.min_samples_leaf:
                 return
-            split = self._best_split(X, gid, g, h, rows, lam, rng, unit_h)
+            split = self._best_split(X, gid, g, h, rows, lam, rng, unit_h, scratch)
             if split is None:
                 return
             j, thr, left_rows, right_rows = split
@@ -235,6 +259,7 @@ class RegressionTree:
         lam: float,
         rng: np.random.Generator | None,
         unit_h: bool = False,
+        scratch: "_FitScratch | None" = None,
     ):
         """Return ``(feature, threshold, left_rows, right_rows)`` or None.
 
@@ -262,36 +287,54 @@ class RegressionTree:
         H = float(m) if unit_h else h[rows].sum()
         parent_score = G * G / (H + lam)
 
-        col_idx = np.arange(sub.shape[1])[None, :]
+        if scratch is not None and candidates is None:
+            col_idx = scratch.col_idx
+        else:
+            col_idx = np.arange(sub.shape[1])[None, :]
         order = sub.argsort(axis=0, kind="stable")
         sorted_gid = sub[order, col_idx]
-        change = sorted_gid[1:] != sorted_gid[:-1]  # split after row i
         gs = g_node[order].cumsum(axis=0)
-        GL = gs[:-1]
+        # Candidate boundary i splits after sorted row i, putting i+1
+        # rows left.  The min_samples_leaf bounds select the contiguous
+        # index range [lo, hi); boundaries outside it were always
+        # masked to -inf, so restricting every array to the slice
+        # up-front changes no gain value and no argmax winner (the
+        # excluded entries could never be a maximum unless all were
+        # -inf, in which case nothing is selected either way).
+        lo = self.min_samples_leaf - 1
+        hi = m - self.min_samples_leaf
+        change = sorted_gid[lo + 1 : hi + 1] != sorted_gid[lo:hi]
+        GL = gs[lo:hi]
         if unit_h:
-            HL = np.arange(1, m, dtype=np.float64)[:, None]
-        else:
-            HL = h[rows][order].cumsum(axis=0)[:-1]
-        ok = change & (HL >= self.min_child_weight) & (
-            H - HL >= self.min_child_weight
-        )
-        if self.min_samples_leaf > 1:
-            n_left = np.arange(1, m, dtype=np.int64)[:, None]
-            ok &= (n_left >= self.min_samples_leaf) & (
-                m - n_left >= self.min_samples_leaf
+            HL = (
+                scratch.hl_base[lo:hi]
+                if scratch is not None
+                else np.arange(lo + 1, hi + 1, dtype=np.float64)[:, None]
             )
+        else:
+            HL = h[rows][order].cumsum(axis=0)[lo:hi]
         GR = G - GL
         HR = H - HL
         # divide/invalid warnings are switched off for the whole fit
         gains = 0.5 * (
             GL * GL / (HL + lam) + GR * GR / (HR + lam) - parent_score
         )
-        gains = np.where(ok, gains, -np.inf)
+        # With unit hessians the left/right masses are the exact integer
+        # counts 1..m-1, so a min_child_weight of at most 1 can never
+        # exclude a candidate inside the slice — the hessian mask terms
+        # are identically true there and only the tie mask remains.
+        if unit_h and self.min_child_weight <= 1.0:
+            ok = change
+        else:
+            ok = change & (HL >= self.min_child_weight) & (
+                H - HL >= self.min_child_weight
+            )
+        gains[~ok] = -np.inf
 
         # First maximum per feature (rows not in `change` are -inf, so
         # this matches argmax over the compressed boundary list), then
         # the original sequential strictly-greater scan across features.
-        col_arg = np.argmax(gains, axis=0)
+        col_arg = gains.argmax(axis=0)
         col_best = gains[col_arg, col_idx[0]]
         best_gain = self.gamma
         best_c = -1
@@ -303,7 +346,7 @@ class RegressionTree:
             return None
 
         j = int(candidates[best_c]) if candidates is not None else best_c
-        boundary = int(col_arg[best_c])
+        boundary = lo + int(col_arg[best_c])
         sorted_rows = rows[order[:, best_c]]
         thr = 0.5 * (X[sorted_rows[boundary], j] + X[sorted_rows[boundary + 1], j])
         left_rows = sorted_rows[: boundary + 1]

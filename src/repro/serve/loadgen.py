@@ -8,7 +8,10 @@ LRU eviction/rehydration churn when ``max_active`` is smaller than the
 session count).
 
 :func:`run_load` returns a plain JSON-able report: request counts,
-throughput, per-endpoint latency percentiles.  :func:`apply_floors`
+throughput, per-endpoint latency percentiles, plus the server's own
+view (cache tier hit ratios and the rehydration latency series from
+``/v1/healthz``) so the committed benchmark records whether the
+rehydration caches actually carried the workload.  :func:`apply_floors`
 then stamps ``*_gate`` entries in the exact shape
 ``repro telemetry diff --floors`` gates (``floor``/``speedup`` pairs at
 the document top level), expressing each floor as a margin ratio:
@@ -154,7 +157,7 @@ def run_load(
     rate: float = 0.0,
     duration: float = 0.0,
     spec: dict | None = None,
-    algorithms=("rs",),
+    algorithms=("rs", "lowfid", "ceal"),
     name_prefix: str = "load",
     timeout: float = 60.0,
 ) -> dict:
@@ -164,7 +167,10 @@ def run_load(
     across threads; ``duration`` (seconds, 0 = until done) stops the
     generator early, leaving stragglers incomplete.  ``algorithms``
     are cycled across sessions, and each session gets a distinct seed,
-    so no two sessions share a measurement trajectory.
+    so no two sessions share a measurement trajectory.  The default mix
+    includes the model-fitting strategies (``lowfid``, ``ceal``) whose
+    rehydration refits are exactly what the serve caches amortize — a
+    pure-``rs`` load would leave the fitted-model tier idle.
     """
     sessions = max(1, int(sessions))
     threads = max(1, min(int(threads), sessions))
@@ -211,7 +217,27 @@ def run_load(
         created += recorder.created
         completed += recorder.completed
     requests = sum(len(v) for v in latencies.values())
-    return {
+
+    # The server's own view of the run: cache tier hit ratios and the
+    # manager-side rehydration latency series (wall time of evicted →
+    # resident transitions, which client-side endpoint timings blend
+    # into ask/tell/status and cannot isolate).
+    server_stats = None
+    try:
+        with ServeClient(host, port, timeout=timeout) as probe:
+            server_stats = probe.health().get("stats") or None
+    except (ServeError, OSError):
+        server_stats = None
+
+    latency_summaries = {
+        endpoint: _summary(values)
+        for endpoint, values in sorted(latencies.items())
+    }
+    if server_stats is not None:
+        rehydrate = server_stats.get("rehydrate_ms") or {}
+        if rehydrate.get("count"):
+            latency_summaries["rehydrate"] = rehydrate
+    report = {
         "benchmark": "serve_load",
         "config": {
             "sessions": sessions,
@@ -227,11 +253,18 @@ def run_load(
         "throughput_rps": round(requests / elapsed, 2) if elapsed > 0 else 0.0,
         "sessions_created": created,
         "sessions_completed": completed,
-        "latency_ms": {
-            endpoint: _summary(values)
-            for endpoint, values in sorted(latencies.items())
-        },
+        "latency_ms": latency_summaries,
     }
+    if server_stats is not None:
+        report["server"] = {
+            "cache": server_stats.get("cache"),
+            "sessions_rehydrated": (server_stats.get("rehydrate_ms") or {}).get(
+                "count", 0
+            ),
+            "active": server_stats.get("active"),
+            "max_active": server_stats.get("max_active"),
+        }
+    return report
 
 
 def apply_floors(
@@ -240,6 +273,8 @@ def apply_floors(
     required_rps: float,
     ask_p95_budget_ms: float,
     tell_p95_budget_ms: float,
+    create_p95_budget_ms: float | None = None,
+    rehydrate_p95_budget_ms: float | None = None,
 ) -> dict:
     """Stamp ``floor``/``speedup`` gates onto a :func:`run_load` report.
 
@@ -247,6 +282,11 @@ def apply_floors(
     holds): measured/required for throughput and completion,
     budget/measured for latencies.  The gates sit at the document top
     level, which is where ``repro telemetry diff --floors`` looks.
+
+    ``create_p95_budget_ms`` and ``rehydrate_p95_budget_ms`` gate the
+    cache-accelerated paths (optional so short runs that never evict —
+    hence never rehydrate — can skip them).  The rehydrate gate is only
+    stamped when the report carries a server-side rehydrate series.
     """
     throughput = float(report["throughput_rps"])
     sessions = int(report["config"]["sessions"])
@@ -277,4 +317,30 @@ def apply_floors(
         "p95_ms": tell_p95,
         "budget_ms": tell_p95_budget_ms,
     }
+    if create_p95_budget_ms is not None:
+        create_p95 = float(
+            report["latency_ms"].get("create", {}).get("p95", math.inf)
+        )
+        report["create_p95_gate"] = {
+            "floor": 1.0,
+            "speedup": (
+                round(create_p95_budget_ms / create_p95, 3) if create_p95 else 0.0
+            ),
+            "p95_ms": create_p95,
+            "budget_ms": create_p95_budget_ms,
+        }
+    if rehydrate_p95_budget_ms is not None:
+        rehydrate = report["latency_ms"].get("rehydrate") or {}
+        if rehydrate.get("count"):
+            rehydrate_p95 = float(rehydrate.get("p95", math.inf))
+            report["rehydrate_p95_gate"] = {
+                "floor": 1.0,
+                "speedup": (
+                    round(rehydrate_p95_budget_ms / rehydrate_p95, 3)
+                    if rehydrate_p95
+                    else 0.0
+                ),
+                "p95_ms": rehydrate_p95,
+                "budget_ms": rehydrate_p95_budget_ms,
+            }
     return report

@@ -42,6 +42,7 @@ import os
 import re
 import tempfile
 import threading
+import time
 import uuid
 from collections import OrderedDict
 from contextlib import contextmanager
@@ -51,12 +52,14 @@ from repro import telemetry
 from repro.core.driver import (
     CheckpointError,
     TuningSession,
+    checkpoint_payload,
     load_checkpoint,
     restore_session,
-    save_checkpoint,
+    save_checkpoint_payload,
     validate_checkpoint,
 )
 from repro.core.problem import AutotuneResult
+from repro.serve.artifacts import ArtifactCache
 from repro.serve.protocol import PROTOCOL_VERSION, ServeError
 from repro.serve.specs import SessionSpec, build_algorithm, build_problem
 
@@ -85,18 +88,33 @@ class SessionRunner:
     checkpoints land only on cycle boundaries.
     """
 
-    def __init__(self, name: str, spec: SessionSpec, checkpoint_path, store=None):
+    def __init__(
+        self, name: str, spec: SessionSpec, checkpoint_path, store=None, cache=None
+    ):
         self.name = name
         self.spec = spec
         self.checkpoint_path = Path(checkpoint_path)
         algorithm = build_algorithm(spec)
         self.strategy = algorithm.make_strategy()
         self.strategy.name = algorithm.name
-        self.problem = build_problem(spec, store=store)
+        artifacts = None if cache is None else cache.problem_artifacts(spec)
+        self.problem = build_problem(spec, store=store, artifacts=artifacts)
+        if cache is not None:
+            # Front every deterministic fit of this session with the
+            # manager-wide model tier (the store registry, when bound,
+            # stays underneath as the persistent layer).
+            self.problem.attach_registry(
+                cache.registry(self.problem.model_registry)
+            )
         self.session = TuningSession.start(self.problem)
         self.completed = False
         self.result: AutotuneResult | None = None
         self._pending: tuple[str, tuple] | None = None
+        #: The payload written by the last boundary checkpoint.  This —
+        #: never the live session, whose RNG may sit mid-ask — is what
+        #: the warm-snapshot tier stashes at eviction, so a snapshot
+        #: restore is state-identical to a disk restore.
+        self._last_payload: dict | None = None
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -119,7 +137,13 @@ class SessionRunner:
 
     @classmethod
     def rehydrate(
-        cls, name: str, spec: SessionSpec, checkpoint_path, store=None
+        cls,
+        name: str,
+        spec: SessionSpec,
+        checkpoint_path,
+        store=None,
+        cache=None,
+        snapshot: dict | None = None,
     ) -> "SessionRunner":
         """Rebuild a runner from (spec, checkpoint) files.
 
@@ -128,25 +152,39 @@ class SessionRunner:
         the same machinery as ``TuningDriver.run(resume=True)``, so the
         session continues bit-identically.  A missing checkpoint (crash
         between spec write and first save) cold-starts instead.
+
+        ``snapshot`` is a still-warm checkpoint payload from the
+        manager's snapshot tier: it is byte-equal to what the disk
+        checkpoint unpickles to (both come from the same boundary
+        :func:`~repro.core.driver.checkpoint_payload`), so restoring
+        from it skips the disk read and unpickle while remaining
+        subject to the same validation.
         """
-        runner = cls(name, spec, checkpoint_path, store=store)
-        if not runner.checkpoint_path.exists():
+        runner = cls(name, spec, checkpoint_path, store=store, cache=cache)
+        if snapshot is None and not runner.checkpoint_path.exists():
             runner.start()
             return runner
         with telemetry.get().span(
             "serve.session.rehydrate", category="serve",
             algorithm=runner.strategy.name,
         ):
-            payload = load_checkpoint(runner.checkpoint_path)
+            payload = snapshot
+            if payload is None:
+                payload = load_checkpoint(runner.checkpoint_path)
             validate_checkpoint(payload, runner.strategy, runner.session)
             restore_session(payload, runner.strategy, runner.session)
             runner.completed = bool(payload.get("completed", False))
+            runner._last_payload = payload
         return runner
 
     def _save(self, completed: bool = False) -> None:
-        save_checkpoint(
-            self.checkpoint_path, self.session, self.strategy, completed
-        )
+        payload = checkpoint_payload(self.session, self.strategy, completed)
+        save_checkpoint_payload(self.checkpoint_path, payload)
+        self._last_payload = payload
+
+    def snapshot_payload(self) -> dict | None:
+        """The last boundary checkpoint payload (for the snapshot tier)."""
+        return self._last_payload
 
     # -- the stepwise measurement loop ----------------------------------------
 
@@ -330,6 +368,26 @@ class SessionRunner:
         return {"done": True, "completed": True, "best": self.best()}
 
 
+def _series_summary(values: list[float]) -> dict:
+    """Percentile digest of a latency series (ms), loadgen-shaped."""
+    if not values:
+        return {"count": 0}
+    ordered = sorted(values)
+
+    def pct(q: float) -> float:
+        index = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
+        return round(ordered[index], 3)
+
+    return {
+        "count": len(ordered),
+        "mean": round(sum(ordered) / len(ordered), 3),
+        "p50": pct(0.50),
+        "p95": pct(0.95),
+        "p99": pct(0.99),
+        "max": round(ordered[-1], 3),
+    }
+
+
 def _write_json_atomic(path: Path, payload: dict) -> None:
     fd, tmp = tempfile.mkstemp(
         dir=path.parent, prefix=path.name + ".", suffix=".tmp"
@@ -367,9 +425,16 @@ class SessionManager:
         Resident-session budget.  Exceeding it evicts the least
         recently touched idle session (its checkpoint is already
         durable); the next touch rehydrates transparently.
+    cache:
+        Shared :class:`~repro.serve.artifacts.ArtifactCache` for the
+        rehydration hot path; built fresh (honouring the
+        ``REPRO_NO_SERVE_CACHE`` kill switch) when not supplied.
     """
 
-    def __init__(self, directory, store=None, max_active: int = 64):
+    #: How many recent rehydration wall-times ``stats`` summarises.
+    _REHYDRATE_WINDOW = 512
+
+    def __init__(self, directory, store=None, max_active: int = 64, cache=None):
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         if store is not None:
@@ -379,10 +444,12 @@ class SessionManager:
                 store = MeasurementStore(store)
         self.store = store
         self.max_active = max(1, int(max_active))
+        self.cache = ArtifactCache() if cache is None else cache
         self._mutex = threading.Lock()
         self._active: OrderedDict[str, SessionRunner] = OrderedDict()
         self._locks: dict[str, threading.RLock] = {}
         self._known: set[str] = set()
+        self._rehydrate_ms: list[float] = []
         self.recovered = self._recover()
 
     # -- paths ----------------------------------------------------------------
@@ -431,15 +498,23 @@ class SessionManager:
             known = name in self._known
         if not known:
             raise ServeError("unknown_session", f"no session named {name!r}")
+        started = time.perf_counter()
         spec = self._load_spec(name)
+        snapshot = self.cache.take_snapshot(name)
         try:
             runner = SessionRunner.rehydrate(
-                name, spec, self._checkpoint_path(name), store=self.store
+                name,
+                spec,
+                self._checkpoint_path(name),
+                store=self.store,
+                cache=self.cache,
+                snapshot=snapshot,
             )
         except CheckpointError as exc:
             raise ServeError(
                 "internal", f"session {name!r} checkpoint unusable: {exc}"
             ) from exc
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
         tel = telemetry.get()
         tel.counter("serve.sessions.rehydrated").inc()
         with self._mutex:
@@ -448,6 +523,8 @@ class SessionManager:
             tel.gauge("serve.sessions.active_peak").set_max(
                 len(self._active)
             )
+            self._rehydrate_ms.append(elapsed_ms)
+            del self._rehydrate_ms[: -self._REHYDRATE_WINDOW]
         return runner
 
     def _load_spec(self, name: str) -> SessionSpec:
@@ -482,8 +559,15 @@ class SessionManager:
                     raise ServeError(
                         "conflict", f"session {name!r} already exists"
                     )
+            # A freshly created name must never restore someone else's
+            # leftover snapshot (e.g. delete + recreate under one name).
+            self.cache.invalidate_session(name)
             runner = SessionRunner(
-                name, spec, self._checkpoint_path(name), store=self.store
+                name,
+                spec,
+                self._checkpoint_path(name),
+                store=self.store,
+                cache=self.cache,
             )
             _write_json_atomic(
                 self._spec_path(name),
@@ -513,6 +597,7 @@ class SessionManager:
         _check_name(name)
         lock = self._lock_for(name)
         with lock:
+            self.cache.invalidate_session(name)
             with self._mutex:
                 known = name in self._known or name in self._active
                 self._active.pop(name, None)
@@ -539,10 +624,22 @@ class SessionManager:
         lock = self._lock_for(name)
         with lock:
             with self._mutex:
-                evicted = self._active.pop(name, None) is not None
-        if evicted:
+                runner = self._active.pop(name, None)
+            if runner is not None:
+                self._stash_snapshot(runner)
+        if runner is not None:
             telemetry.get().counter("serve.sessions.evicted").inc()
-        return evicted
+        return runner is not None
+
+    def _stash_snapshot(self, runner: SessionRunner) -> None:
+        """Keep the evicted runner's boundary payload warm.
+
+        Called with the session lock held (the runner is idle), so the
+        payload is exactly what the last boundary checkpoint persisted.
+        """
+        payload = runner.snapshot_payload()
+        if payload is not None:
+            self.cache.stash_snapshot(runner.name, payload)
 
     def evict_all(self) -> int:
         """Evict every idle session (tests, drain)."""
@@ -570,12 +667,13 @@ class SessionManager:
                 if not lock.acquire(blocking=False):
                     continue
                 try:
+                    runner = None
                     with self._mutex:
                         if len(self._active) > self.max_active:
-                            evicted = (
-                                self._active.pop(name, None) is not None
-                                and name
-                            )
+                            runner = self._active.pop(name, None)
+                    if runner is not None:
+                        self._stash_snapshot(runner)
+                        evicted = name
                 finally:
                     lock.release()
                 if evicted:
@@ -631,6 +729,7 @@ class SessionManager:
         with self._mutex:
             active = len(self._active)
             known = len(self._known)
+            rehydrate_ms = list(self._rehydrate_ms)
         return {
             "active": active,
             "evicted": max(0, known - active),
@@ -638,6 +737,8 @@ class SessionManager:
             "max_active": self.max_active,
             "directory": str(self.directory),
             "store": None if self.store is None else self.store.path,
+            "cache": self.cache.stats(),
+            "rehydrate_ms": _series_summary(rehydrate_ms),
         }
 
     def shutdown(self) -> None:

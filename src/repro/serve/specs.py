@@ -25,7 +25,55 @@ __all__ = [
     "SessionSpec",
     "build_algorithm",
     "build_problem",
+    "build_problem_artifacts",
 ]
+
+#: One-time imported tuning stack.  The builders below sit on the
+#: daemon's rehydration hot path, so the ``from repro...`` imports are
+#: hoisted out of the per-call bodies into this module-level memo: the
+#: first build pays the import-machinery lookups once, every later
+#: rehydration is a dict access.  Kept lazy (not top-of-module) so that
+#: protocol-only consumers of :mod:`repro.serve` never pull in numpy
+#: and the full core stack.
+_STACK: dict = {}
+
+
+def _stack() -> dict:
+    if not _STACK:
+        from repro.core import (
+            ActiveLearning,
+            Alph,
+            BayesianOptimization,
+            Ceal,
+            CealSettings,
+            Geist,
+            RandomSampling,
+        )
+        from repro.core.algorithms.low_fidelity_only import LowFidelityOnly
+        from repro.core.objectives import get_objective
+        from repro.core.problem import TuningProblem
+        from repro.workflows import make_workflow
+        from repro.workflows.pools import (
+            generate_component_history,
+            generate_pool,
+        )
+
+        _STACK.update(
+            ActiveLearning=ActiveLearning,
+            Alph=Alph,
+            BayesianOptimization=BayesianOptimization,
+            Ceal=Ceal,
+            CealSettings=CealSettings,
+            Geist=Geist,
+            RandomSampling=RandomSampling,
+            LowFidelityOnly=LowFidelityOnly,
+            get_objective=get_objective,
+            TuningProblem=TuningProblem,
+            make_workflow=make_workflow,
+            generate_component_history=generate_component_history,
+            generate_pool=generate_pool,
+        )
+    return _STACK
 
 #: The 8 tuning algorithms a session may request (CLI spelling).
 ALGORITHMS = (
@@ -110,71 +158,88 @@ class SessionSpec:
 
 def build_algorithm(spec: SessionSpec):
     """The spec's tuning algorithm instance (strategy factory)."""
-    from repro.core import (
-        ActiveLearning,
-        Alph,
-        BayesianOptimization,
-        Ceal,
-        CealSettings,
-        Geist,
-        RandomSampling,
-    )
-    from repro.core.algorithms.low_fidelity_only import LowFidelityOnly
-
+    stack = _stack()
     name = spec.algorithm
     if name == "ceal":
-        return Ceal(CealSettings(use_history=spec.use_history))
+        return stack["Ceal"](stack["CealSettings"](use_history=spec.use_history))
     if name == "rs":
-        return RandomSampling()
+        return stack["RandomSampling"]()
     if name == "al":
-        return ActiveLearning()
+        return stack["ActiveLearning"]()
     if name == "geist":
-        return Geist()
+        return stack["Geist"]()
     if name == "alph":
-        return Alph(use_history=spec.use_history)
+        return stack["Alph"](use_history=spec.use_history)
     if name == "bo":
-        return BayesianOptimization()
+        return stack["BayesianOptimization"]()
     if name == "ceal-bo":
-        return BayesianOptimization(bootstrap=True)
+        return stack["BayesianOptimization"](bootstrap=True)
     if name == "lowfid":
-        return LowFidelityOnly()
+        return stack["LowFidelityOnly"]()
     raise ServeError("bad_request", f"unknown algorithm {name!r}")
 
 
-def build_problem(spec: SessionSpec, store=None):
-    """A fresh :class:`~repro.core.problem.TuningProblem` for ``spec``.
+def build_problem_artifacts(spec: SessionSpec):
+    """The deterministic, immutable artifacts behind a spec's problem.
 
-    Deterministic given (spec, store contents): the pool and component
-    histories are regenerated from the spec's seeds (served from the
-    process/disk caches when warm), exactly as ``AutoTuner.tune`` builds
-    them — which is what makes eviction and crash recovery transparent.
+    Workflow definition, measured pool, component histories, and the
+    ML feature encoder — everything that is a pure function of the
+    spec's :func:`~repro.serve.artifacts.spec_key` fields and can be
+    shared by reference across sessions.  This is the unit the serve
+    layer's problem-artifact cache stores; building it on a miss costs
+    exactly what PR 9's ``build_problem`` paid on every rehydration.
     """
-    from repro.core.objectives import get_objective
-    from repro.core.problem import TuningProblem
-    from repro.workflows import make_workflow
-    from repro.workflows.pools import generate_component_history, generate_pool
+    from repro.serve.artifacts import ProblemArtifacts
 
-    workflow = make_workflow(spec.workflow)
-    pool = generate_pool(
+    stack = _stack()
+    workflow = stack["make_workflow"](spec.workflow)
+    pool = stack["generate_pool"](
         workflow, spec.pool_size, seed=spec.seed, noise_sigma=spec.noise_sigma
     )
     histories = {}
     for label in workflow.labels:
         if workflow.app(label).space.size() > 1:
-            histories[label] = generate_component_history(
+            histories[label] = stack["generate_component_history"](
                 workflow,
                 label,
                 size=spec.history_size,
                 seed=spec.seed,
                 noise_sigma=spec.noise_sigma,
             )
-    return TuningProblem.create(
+    return ProblemArtifacts(
         workflow=workflow,
-        objective=get_objective(spec.objective),
         pool=pool,
+        histories=histories,
+        encoder=workflow.encoder(),
+    )
+
+
+def build_problem(spec: SessionSpec, store=None, artifacts=None):
+    """A fresh :class:`~repro.core.problem.TuningProblem` for ``spec``.
+
+    Deterministic given (spec, store contents): the pool and component
+    histories are regenerated from the spec's seeds (served from the
+    process/disk caches when warm), exactly as ``AutoTuner.tune`` builds
+    them — which is what makes eviction and crash recovery transparent.
+
+    ``artifacts`` (a cached
+    :class:`~repro.serve.artifacts.ProblemArtifacts` bundle) skips the
+    regeneration entirely: the immutable pieces are shared by
+    reference, while the mutable problem state (collector, RNG) is
+    still assembled fresh here — which is why a cache-served problem is
+    bit-identical to a rebuilt one.
+    """
+    stack = _stack()
+    if artifacts is None:
+        artifacts = build_problem_artifacts(spec)
+    return stack["TuningProblem"].create(
+        workflow=artifacts.workflow,
+        objective=stack["get_objective"](spec.objective),
+        pool=artifacts.pool,
         budget_runs=int(spec.budget),
         seed=int(spec.seed),
-        histories=histories,
+        histories=artifacts.histories,
         store=store,
         warm_start=spec.warm_start,
+        encoder=artifacts.encoder,
     )

@@ -66,12 +66,16 @@ class ModelRegistry:
         self.misses = 0
 
     def fit_or_load(self, key: str, fit: Callable[[], object], kind: str = "model"):
+        from repro import telemetry
+
         model = self.store.get_model(key)
         if model is not None:
             self.hits += 1
+            telemetry.get().counter("store.registry.hits").inc()
             self._ensure_packed(model)
             return model
         self.misses += 1
+        telemetry.get().counter("store.registry.misses").inc()
         model = fit()
         self.store.put_model(key, model, kind=kind)
         return model

@@ -28,7 +28,9 @@ from __future__ import annotations
 import math
 import os
 import pickle
+import threading
 import zipfile
+from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -48,8 +50,74 @@ __all__ = [
     "pool_size_for",
 ]
 
-_POOL_MEMO: dict = {}
-_HISTORY_MEMO: dict = {}
+class _Memo:
+    """Thread-safe LRU memo for generated pools/histories.
+
+    Previously a bare unbounded dict: a long-lived serve daemon cycling
+    many distinct specs would pin every pool ever generated.  Capacity
+    is entries, not bytes — pools are the dominant per-entry cost and
+    roughly uniform within a workload — and is env-tunable so sweep
+    drivers that legitimately touch many pools can raise it.
+    """
+
+    def __init__(self, env: str, default: int = 128):
+        try:
+            capacity = int(os.environ.get(env, "") or default)
+        except ValueError:
+            capacity = default
+        self.capacity = max(1, capacity)
+        self._lock = threading.Lock()
+        self._entries: OrderedDict = OrderedDict()
+
+    def get(self, key):
+        with self._lock:
+            value = self._entries.get(key)
+            if value is not None:
+                self._entries.move_to_end(key)
+            return value
+
+    def put(self, key, value) -> None:
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    # Dict-compatible surface: call sites (and tests that snapshot or
+    # monkeypatch the memos with plain dicts) use mapping syntax.
+
+    def __setitem__(self, key, value) -> None:
+        self.put(key, value)
+
+    def __getitem__(self, key):
+        with self._lock:
+            value = self._entries[key]
+            self._entries.move_to_end(key)
+            return value
+
+    def __contains__(self, key) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def keys(self):
+        with self._lock:
+            return list(self._entries.keys())
+
+    def update(self, other) -> None:
+        for key in other.keys():
+            self.put(key, other[key])
+
+
+_POOL_MEMO = _Memo("REPRO_POOL_MEMO_CAPACITY")
+_HISTORY_MEMO = _Memo("REPRO_HISTORY_MEMO_CAPACITY")
 
 
 def pool_size_for(top_fraction: float, probability: float) -> int:
@@ -198,9 +266,10 @@ def generate_pool(
         raise ValueError("replicates must be >= 1")
     tel = telemetry.get()
     key = (workflow.name, size, seed, noise_sigma, replicates)
-    if key in _POOL_MEMO:
+    memoised = _POOL_MEMO.get(key)
+    if memoised is not None:
         tel.counter("cache_hits").inc()
-        return _POOL_MEMO[key]
+        return memoised
 
     cache = _cache_dir()
     cache_file = (
@@ -268,9 +337,10 @@ def generate_component_history(
     """
     tel = telemetry.get()
     key = (workflow.name, label, size, seed, noise_sigma)
-    if key in _HISTORY_MEMO:
+    memoised = _HISTORY_MEMO.get(key)
+    if memoised is not None:
         tel.counter("cache_hits").inc()
-        return _HISTORY_MEMO[key]
+        return memoised
     cache = _cache_dir()
     cache_file = (
         cache / f"history_{workflow.name}_{label}_{size}_{seed}_{noise_sigma}.npz"

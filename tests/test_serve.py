@@ -15,11 +15,28 @@ from __future__ import annotations
 
 import pytest
 
+from repro.serve.artifacts import ArtifactCache
 from repro.serve.protocol import ServeError
 from repro.serve.sessions import SessionManager
 from repro.serve.specs import SessionSpec, build_algorithm, build_problem
 
 SMALL = dict(budget=8, pool_size=60, history_size=40, seed=3)
+
+#: Cache regimes the bit-identity contract must hold under: the shared
+#: rehydration caches at their defaults, fully disabled (the
+#: ``REPRO_NO_SERVE_CACHE`` rebuild-everything path), and thrashing
+#: (capacity 1 everywhere, so nearly every lookup misses and entries
+#: are evicted constantly).
+CACHE_MODES = ("on", "off", "thrash")
+
+
+def make_cache(mode: str) -> ArtifactCache | None:
+    """An :class:`ArtifactCache` for one of :data:`CACHE_MODES`."""
+    if mode == "off":
+        return ArtifactCache(enabled=False)
+    if mode == "thrash":
+        return ArtifactCache(problems=1, models=1, snapshots=1)
+    return None  # manager builds its own default-capacity cache
 
 
 def offline_result(spec: SessionSpec):
@@ -55,13 +72,27 @@ def drive(manager: SessionManager, name: str, evict_every_step=False) -> dict:
 
 class TestBitIdentity:
     @pytest.mark.parametrize(
-        "algorithm", ["ceal", "rs", "bo"], ids=str
+        "algorithm,cache_mode",
+        [
+            ("ceal", "on"),
+            ("ceal", "off"),
+            ("ceal", "thrash"),
+            ("rs", "on"),
+            ("rs", "thrash"),
+            ("bo", "on"),
+            ("bo", "off"),
+        ],
+        ids=lambda v: str(v),
     )
-    def test_eviction_every_step_matches_offline(self, tmp_path, algorithm):
+    def test_eviction_every_step_matches_offline(
+        self, tmp_path, algorithm, cache_mode
+    ):
         """Eviction forced between every single request: byte-equal."""
         spec = SessionSpec(algorithm=algorithm, use_history=True, **SMALL)
         straight = offline_result(spec)
-        manager = SessionManager(tmp_path / "state", max_active=4)
+        manager = SessionManager(
+            tmp_path / "state", max_active=4, cache=make_cache(cache_mode)
+        )
         manager.create(spec, name="s")
         done = drive(manager, "s", evict_every_step=True)
         assert comparable(manager.result("s")) == comparable(straight)
@@ -73,12 +104,15 @@ class TestBitIdentity:
             pool
         )
 
-    def test_crash_recovery_restart_matches_offline(self, tmp_path):
+    @pytest.mark.parametrize("cache_mode", CACHE_MODES, ids=str)
+    def test_crash_recovery_restart_matches_offline(self, tmp_path, cache_mode):
         """Drop the whole manager mid-run; a new one recovers and
-        finishes identically — the daemon-restart scenario."""
+        finishes identically — the daemon-restart scenario.  The
+        replacement manager starts with cold caches in every mode, so
+        recovery must never depend on warm in-process state."""
         spec = SessionSpec(algorithm="ceal", use_history=True, **SMALL)
         straight = offline_result(spec)
-        first = SessionManager(tmp_path / "state")
+        first = SessionManager(tmp_path / "state", cache=make_cache(cache_mode))
         first.create(spec, name="s")
         for _ in range(2):  # a couple of cycles, then "crash"
             proposal = first.ask("s")
@@ -86,7 +120,7 @@ class TestBitIdentity:
             first.tell("s", proposal["ask_id"])
         del first  # no shutdown, no checkpoint call: simulated crash
 
-        second = SessionManager(tmp_path / "state")
+        second = SessionManager(tmp_path / "state", cache=make_cache(cache_mode))
         assert second.recovered == ["s"]
         drive(second, "s")
         assert comparable(second.result("s")) == comparable(straight)

@@ -1,0 +1,291 @@
+"""The serve rehydration caches: bounds, concurrency, kill switch.
+
+Covers the three cache tiers of :mod:`repro.serve.artifacts` directly
+(LRU order, capacity bounds, consume-on-hit, telemetry counters,
+multi-threaded stress) and through the session manager (shared
+problem artifacts by reference, snapshot invalidation on create/close,
+cross-session isolation under concurrent churn).  The kill-switch
+tests prove ``REPRO_NO_SERVE_CACHE=1`` reproduces the
+rebuild-everything behaviour byte for byte.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.serve.artifacts import (
+    ArtifactCache,
+    CachingModelRegistry,
+    LruCache,
+    cache_enabled,
+    spec_key,
+)
+from repro.serve.sessions import SessionManager
+from repro.serve.specs import SessionSpec, build_algorithm, build_problem
+
+SMALL = dict(budget=6, pool_size=50, history_size=30, seed=3)
+
+
+def offline_result(spec: SessionSpec):
+    return build_algorithm(spec).tune(build_problem(spec))
+
+
+def comparable(result):
+    return {
+        "algorithm": result.algorithm,
+        "measured": list(result.measured.items()),
+        "runs_used": result.runs_used,
+        "cost_execution_seconds": result.cost_execution_seconds,
+        "cost_core_hours": result.cost_core_hours,
+        "events": [e.as_dict(include_timing=False) for e in result.trace],
+    }
+
+
+def drive(manager: SessionManager, name: str, evict_every_step=False) -> dict:
+    for _ in range(100):
+        if evict_every_step:
+            manager.evict_all()
+        proposal = manager.ask(name)
+        if proposal.get("done"):
+            return proposal
+        if evict_every_step:
+            manager.evict_all()
+        manager.tell(name, proposal["ask_id"])
+    raise AssertionError("session did not finish in 100 cycles")
+
+
+class TestLruCache:
+    def test_lru_order_capacity_and_counters(self):
+        cache = LruCache("t", capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refreshes a
+        cache.put("c", 3)  # evicts b, the least recently used
+        assert cache.get("b") is None
+        assert cache.get("a") == 1 and cache.get("c") == 3
+        assert len(cache) == 2
+        stats = cache.stats()
+        assert stats["evictions"] == 1
+        assert stats["hits"] == 3 and stats["misses"] == 1
+        assert stats["hit_ratio"] == 0.75
+
+    def test_take_consumes_and_pop_is_uncounted(self):
+        cache = LruCache("t", capacity=4)
+        cache.put("a", "x")
+        assert cache.take("a") == "x"
+        assert cache.take("a") is None  # consumed: second take misses
+        cache.put("b", "y")
+        assert cache.pop("b") == "y"
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1  # pop uncounted
+
+    def test_disabled_cache_never_stores_or_hits(self):
+        cache = LruCache("t", capacity=4, enabled=False)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert cache.take("a", "fallback") == "fallback"
+        assert len(cache) == 0
+        assert cache.stats()["hits"] == 0
+
+    def test_counters_flow_through_telemetry_hub(self):
+        from repro import telemetry
+        from repro.telemetry import Telemetry
+
+        hub = Telemetry()
+        with telemetry.use(hub):
+            cache = LruCache("unittier", capacity=1)
+            cache.put("a", 1)
+            cache.get("a")
+            cache.get("ghost")
+            cache.put("b", 2)  # evicts a
+        metrics = {m["name"]: m["value"] for m in hub.metrics_snapshot()}
+        assert metrics["serve.cache.unittier.hits"] == 1
+        assert metrics["serve.cache.unittier.misses"] == 1
+        assert metrics["serve.cache.unittier.evictions"] == 1
+        assert metrics["serve.cache.unittier.bytes"] > 0
+
+    def test_multithreaded_stress_stays_bounded_and_consistent(self):
+        """Hammer one cache from many threads: the capacity bound, the
+        per-key values, and the counter bookkeeping all survive."""
+        cache = LruCache("stress", capacity=8)
+        errors: list = []
+
+        def worker(tid: int) -> None:
+            try:
+                for i in range(400):
+                    key = (tid, i % 12)
+                    value = cache.get(key)
+                    if value is not None:
+                        # A hit must return this thread's own value —
+                        # keys are thread-scoped, so any bleed-through
+                        # would surface as a foreign tuple here.
+                        assert value == (tid, i % 12, "v"), value
+                    cache.put(key, (tid, i % 12, "v"))
+                    if i % 50 == 0:
+                        cache.stats()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(tid,)) for tid in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(cache) <= 8
+        stats = cache.stats()
+        assert stats["hits"] + stats["misses"] == 8 * 400
+        assert stats["evictions"] > 0
+
+
+class TestArtifactTiers:
+    def test_problem_artifacts_shared_by_reference(self):
+        cache = ArtifactCache()
+        a = cache.problem_artifacts(SessionSpec(algorithm="rs", **SMALL))
+        b = cache.problem_artifacts(SessionSpec(algorithm="ceal", **SMALL))
+        # Same deterministic key (algorithm is not part of it): the
+        # exact same bundle object, not an equal copy.
+        assert a is b
+        other = cache.problem_artifacts(
+            SessionSpec(algorithm="rs", **{**SMALL, "seed": 4})
+        )
+        assert other is not a
+        assert cache.problems.stats()["hits"] == 1
+        assert cache.problems.stats()["misses"] == 2
+
+    def test_spec_key_covers_only_artifact_fields(self):
+        base = SessionSpec(algorithm="rs", **SMALL)
+        same = SessionSpec(algorithm="ceal", budget=9, **{
+            k: v for k, v in SMALL.items() if k != "budget"
+        })
+        assert spec_key(base) == spec_key(same)
+        assert spec_key(base) != spec_key(
+            SessionSpec(algorithm="rs", **{**SMALL, "noise_sigma": 0.2})
+        )
+
+    def test_all_three_tiers_evict_at_capacity_one(self):
+        cache = ArtifactCache(problems=1, models=1, snapshots=1)
+        s1 = SessionSpec(algorithm="rs", **SMALL)
+        s2 = SessionSpec(algorithm="rs", **{**SMALL, "seed": 4})
+        a1 = cache.problem_artifacts(s1)
+        cache.problem_artifacts(s2)  # evicts s1's bundle
+        assert len(cache.problems) == 1
+        assert cache.problem_artifacts(s1) is not a1  # rebuilt, not cached
+
+        registry = cache.registry()
+        registry.fit_or_load("k1", lambda: "m1")
+        registry.fit_or_load("k2", lambda: "m2")  # evicts k1
+        assert len(cache.models) == 1
+        assert cache.models.get("k1") is None
+        assert cache.models.get("k2") == "m2"
+
+        cache.stash_snapshot("s1", {"iteration": 1})
+        cache.stash_snapshot("s2", {"iteration": 2})  # evicts s1
+        assert cache.take_snapshot("s1") is None
+        assert cache.take_snapshot("s2") == {"iteration": 2}
+        for tier in (cache.problems, cache.models, cache.snapshots):
+            assert tier.stats()["evictions"] >= 1
+
+    def test_model_registry_promotes_to_shared_tier(self):
+        cache = ArtifactCache()
+        first = cache.registry()
+        fits = []
+
+        def fit():
+            fits.append(1)
+            return object()
+
+        model = first.fit_or_load("key", fit)
+        # A different registry front (a different session) over the
+        # same cache gets the same object without refitting.
+        second = cache.registry()
+        assert second.fit_or_load("key", fit) is model
+        assert len(fits) == 1
+        assert first.misses == 1 and second.hits == 1
+
+    def test_snapshot_invalidated_on_create_and_close(self, tmp_path):
+        manager = SessionManager(tmp_path / "state", max_active=1)
+        spec = dict(algorithm="rs", **SMALL)
+        manager.create(dict(spec), name="a")
+        manager.create(dict(spec, seed=4), name="b")  # evicts + stashes a
+        assert len(manager.cache.snapshots) == 1
+        manager.close("a", delete=True)
+        assert manager.cache.take_snapshot("a") is None
+
+    def test_concurrent_sessions_no_cross_session_bleed(self, tmp_path):
+        """Six sessions with six distinct seeds driven from six threads
+        over a two-resident manager (constant churn, one shared cache):
+        every session must finish byte-identical to its own offline
+        run — any artifact/model/snapshot bleed between sessions would
+        change some session's trajectory."""
+        manager = SessionManager(tmp_path / "state", max_active=2)
+        specs = {
+            f"s{i}": SessionSpec(
+                algorithm=("rs", "lowfid", "ceal")[i % 3],
+                use_history=True,
+                **{**SMALL, "seed": 50 + i},
+            )
+            for i in range(6)
+        }
+        for name, spec in specs.items():
+            manager.create(spec, name=name)
+        errors: list = []
+
+        def run(name: str) -> None:
+            try:
+                drive(manager, name)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append((name, exc))
+
+        threads = [
+            threading.Thread(target=run, args=(name,)) for name in specs
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        for name, spec in specs.items():
+            assert comparable(manager.result(name)) == comparable(
+                offline_result(spec)
+            ), name
+
+
+class TestKillSwitch:
+    def test_env_variable_disables_cache(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_SERVE_CACHE", "1")
+        assert not cache_enabled()
+        cache = ArtifactCache()
+        assert not cache.enabled
+        spec = SessionSpec(algorithm="rs", **SMALL)
+        a = cache.problem_artifacts(spec)
+        b = cache.problem_artifacts(spec)
+        assert a is not b  # every call rebuilds
+        assert cache.stats()["problem"]["hits"] == 0
+
+    def test_kill_switch_byte_identity(self, tmp_path, monkeypatch):
+        """The same session driven with caches on, with the env kill
+        switch set, and offline: one identical result."""
+        spec = SessionSpec(algorithm="ceal", use_history=True, **SMALL)
+        straight = comparable(offline_result(spec))
+
+        manager_on = SessionManager(tmp_path / "on", max_active=1)
+        assert manager_on.cache.enabled
+        manager_on.create(spec, name="s")
+        drive(manager_on, "s", evict_every_step=True)
+        assert comparable(manager_on.result("s")) == straight
+
+        monkeypatch.setenv("REPRO_NO_SERVE_CACHE", "1")
+        manager_off = SessionManager(tmp_path / "off", max_active=1)
+        assert not manager_off.cache.enabled
+        manager_off.create(spec, name="s")
+        drive(manager_off, "s", evict_every_step=True)
+        assert comparable(manager_off.result("s")) == straight
+        stats = manager_off.cache.stats()
+        assert stats["problem"]["hits"] == 0
+        assert stats["model"]["hits"] == 0
+        assert stats["snapshot"]["hits"] == 0

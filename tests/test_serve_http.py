@@ -93,14 +93,30 @@ class TestEndToEnd:
                 straight.best_config(pool)
             ), name
 
-    def test_restart_mid_session_finishes_bit_identically(self, tmp_path):
+    @pytest.mark.parametrize("cache_mode", ["on", "off", "thrash"], ids=str)
+    def test_restart_mid_session_finishes_bit_identically(
+        self, tmp_path, cache_mode
+    ):
+        """SIGTERM-drain restart under every cache regime: the daemon
+        that resumes the session starts with cold caches (enabled,
+        disabled, or capacity-1 thrashing) and must still finish
+        byte-equal to the offline run."""
+        from repro.serve.artifacts import ArtifactCache
+
+        def cache():
+            if cache_mode == "off":
+                return ArtifactCache(enabled=False)
+            if cache_mode == "thrash":
+                return ArtifactCache(problems=1, models=1, snapshots=1)
+            return None
+
         spec = SessionSpec(algorithm="ceal", use_history=True, **{
             k: v for k, v in SMALL.items() if k != "algorithm"
         })
         straight = build_algorithm(spec).tune(build_problem(spec))
 
         state = tmp_path / "state"
-        with BackgroundServer(SessionManager(state)) as first:
+        with BackgroundServer(SessionManager(state, cache=cache())) as first:
             with ServeClient(port=first.port) as client:
                 client.create_session(spec.as_dict(), name="s")
                 proposal = client.ask("s")
@@ -109,7 +125,7 @@ class TestEndToEnd:
                 assert not pending.get("done")
         # The context exit performed the SIGTERM drain; a fresh daemon
         # over the same directory recovers the session.
-        with BackgroundServer(SessionManager(state)) as second:
+        with BackgroundServer(SessionManager(state, cache=cache())) as second:
             with ServeClient(port=second.port) as client:
                 assert client.status("s")["iteration"] == 1
                 best = client.run("s")
@@ -163,9 +179,12 @@ class TestWireErrors:
         conn.close()
 
     def test_request_timeout_is_structured(self, tmp_path):
+        # A zero budget times out deterministically: wait_for(0) fires
+        # before a just-offloaded executor future can complete, however
+        # warm the pool memo or artifact caches make the handler.
         manager = SessionManager(tmp_path / "state")
         with BackgroundServer(
-            manager, workers=1, request_timeout=0.001
+            manager, workers=1, request_timeout=0.0
         ) as server:
             with ServeClient(port=server.port) as client:
                 with pytest.raises(ServeError) as err:
